@@ -1,0 +1,189 @@
+// Package blockbench is a Go implementation of BLOCKBENCH (Dinh et al.,
+// SIGMOD 2017), the evaluation framework for private blockchains, together
+// with simulated implementations of the three platforms the paper studies:
+// Ethereum (PoW), Parity (PoA) and Hyperledger Fabric v0.6 (PBFT).
+//
+// The package mirrors the paper's Fig 4 software stack:
+//
+//   - Cluster boots an N-node deployment of one platform over a simulated
+//     network with fault and attack injection (IBlockchainConnector's
+//     backend side).
+//   - Client is a connector bound to one client identity and one server:
+//     asynchronous transaction submission plus the block-range polling
+//     (getLatestBlock) that the paper's driver uses.
+//   - Workload is IWorkloadConnector: it supplies the next transaction.
+//     YCSB, Smallbank, EtherId, Doubler, WavesPresale, DoNothing, IOHeavy
+//     and CPUHeavy ship with the framework; Analytics Q1/Q2 have direct
+//     helpers.
+//   - Run is the benchmark driver: multiple clients, multiple threads,
+//     open- or closed-loop, collecting throughput, latency, queue and
+//     commit time series, fork and resource statistics.
+package blockbench
+
+import (
+	"fmt"
+	"time"
+
+	"blockbench/internal/crypto"
+	"blockbench/internal/exec"
+	"blockbench/internal/node"
+	"blockbench/internal/platform"
+	"blockbench/internal/simnet"
+	"blockbench/internal/types"
+)
+
+// Re-exported core types, so framework users never import internal
+// packages.
+type (
+	// Hash is a 32-byte content digest (transaction and block IDs).
+	Hash = types.Hash
+	// Address is a 20-byte account identifier.
+	Address = types.Address
+	// Key is a client signing identity.
+	Key = crypto.Key
+	// Platform selects one of the three systems under study.
+	Platform = platform.Kind
+	// NetConfig tunes the simulated cluster network.
+	NetConfig = simnet.Config
+	// MemModel tunes the simulated execution-memory accounting.
+	MemModel = exec.MemModel
+	// ClusterConfig sizes and tunes a platform deployment.
+	ClusterConfig = platform.Config
+)
+
+// The supported platforms.
+const (
+	Ethereum    = platform.Ethereum
+	Parity      = platform.Parity
+	Hyperledger = platform.Hyperledger
+)
+
+// Platforms lists all supported backends.
+func Platforms() []Platform { return platform.Kinds() }
+
+// NewKeys deterministically derives n client identities.
+func NewKeys(n int) []*Key {
+	keys := make([]*Key, n)
+	for i := range keys {
+		keys[i] = crypto.DeterministicKey(uint64(0xc0ffee) + uint64(i))
+	}
+	return keys
+}
+
+// Cluster is a running blockchain deployment plus the client identities
+// registered with it.
+type Cluster struct {
+	inner   *platform.Cluster
+	keys    []*Key
+	started bool
+}
+
+// NewCluster builds a cluster. If cfg.ClientKeys is empty, `clients`
+// identities are derived and funded automatically.
+func NewCluster(cfg ClusterConfig, clients int) (*Cluster, error) {
+	if len(cfg.ClientKeys) == 0 {
+		cfg.ClientKeys = NewKeys(clients)
+	}
+	if cfg.GenesisBalance == 0 {
+		cfg.GenesisBalance = 1 << 40
+	}
+	inner, err := platform.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{inner: inner, keys: cfg.ClientKeys}, nil
+}
+
+// Start launches all nodes.
+func (c *Cluster) Start() {
+	if !c.started {
+		c.inner.Start()
+		c.started = true
+	}
+}
+
+// Stop halts nodes and network, then releases storage.
+func (c *Cluster) Stop() {
+	c.inner.Stop()
+	c.inner.Close()
+}
+
+// Kind returns the platform backend.
+func (c *Cluster) Kind() Platform { return c.inner.Kind }
+
+// Size returns the number of server nodes.
+func (c *Cluster) Size() int { return c.inner.Size() }
+
+// Keys returns the registered client identities.
+func (c *Cluster) Keys() []*Key { return c.keys }
+
+// Client returns a connector for client identity i, attached to server
+// i mod N (the paper's experiments pair clients with servers this way).
+func (c *Cluster) Client(i int) *Client {
+	if i < 0 || i >= len(c.keys) {
+		panic(fmt.Sprintf("blockbench: client %d of %d", i, len(c.keys)))
+	}
+	return c.ClientOn(i, i%c.inner.Size())
+}
+
+// ClientOn returns a connector for client identity i attached to a
+// specific server.
+func (c *Cluster) ClientOn(i, server int) *Client {
+	return &Client{
+		cluster:   c,
+		key:       c.keys[i],
+		node:      c.inner.Node(server),
+		signLocal: c.inner.Kind != Parity,
+		id:        i,
+	}
+}
+
+// Fault and attack injection (§3.3 of the paper).
+
+// Crash kills node i (crash failure mode).
+func (c *Cluster) Crash(i int) { c.inner.Crash(i) }
+
+// Recover restores a crashed node.
+func (c *Cluster) Recover(i int) { c.inner.Recover(i) }
+
+// PartitionHalves splits the network into [0,k) and [k,N) — the
+// double-spending / selfish-mining attack simulation.
+func (c *Cluster) PartitionHalves(k int) { c.inner.PartitionHalves(k) }
+
+// Heal removes the partition.
+func (c *Cluster) Heal() { c.inner.Heal() }
+
+// SetDelay injects extra message delay at the given nodes.
+func (c *Cluster) SetDelay(d time.Duration, nodes ...int) {
+	ids := make([]simnet.NodeID, len(nodes))
+	for i, n := range nodes {
+		ids[i] = simnet.NodeID(n)
+	}
+	c.inner.Net.SetDelay(d, ids...)
+}
+
+// SetCorruptRate makes a fraction of the given nodes' messages arrive
+// corrupted (random-response failure mode).
+func (c *Cluster) SetCorruptRate(rate float64, nodes ...int) {
+	ids := make([]simnet.NodeID, len(nodes))
+	for i, n := range nodes {
+		ids[i] = simnet.NodeID(n)
+	}
+	c.inner.Net.SetCorruptRate(rate, ids...)
+}
+
+// ForkStats reports (blocks on any branch, main-chain length): the
+// security metric of §3.3.
+func (c *Cluster) ForkStats() (total, mainChain uint64) { return c.inner.ForkStats() }
+
+// Height returns node 0's confirmed chain height.
+func (c *Cluster) Height() uint64 { return c.inner.Chain(0).Height() }
+
+// Internal accessors used by the driver, analytics helpers, experiments
+// and benchmarks within this module.
+
+func (c *Cluster) nodeAt(i int) *node.Node { return c.inner.Node(i) }
+
+// Inner exposes the underlying platform cluster for experiment code that
+// needs platform-level counters (storage stats, execution engines).
+func (c *Cluster) Inner() *platform.Cluster { return c.inner }

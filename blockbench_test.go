@@ -1,0 +1,226 @@
+package blockbench
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// fastClusterStopped builds a cluster with timings well below the
+// defaults so end-to-end tests finish in a couple of seconds, leaving it
+// unstarted (workloads that preload history must do so before consensus
+// begins producing blocks).
+func fastClusterStopped(t *testing.T, kind Platform, nodes, clients int, contracts ...string) *Cluster {
+	t.Helper()
+	if len(contracts) == 0 {
+		contracts = []string{"ycsb", "smallbank", "donothing"}
+	}
+	c, err := NewCluster(ClusterConfig{
+		Kind:          kind,
+		Nodes:         nodes,
+		Contracts:     contracts,
+		BlockInterval: 40 * time.Millisecond,
+		StepDuration:  20 * time.Millisecond,
+		IngestCost:    2 * time.Millisecond,
+		BatchTimeout:  5 * time.Millisecond,
+		ViewTimeout:   200 * time.Millisecond,
+		RPCLatency:    time.Microsecond,
+	}, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func fastCluster(t *testing.T, kind Platform, nodes, clients int, contracts ...string) *Cluster {
+	t.Helper()
+	c := fastClusterStopped(t, kind, nodes, clients, contracts...)
+	c.Start()
+	return c
+}
+
+func TestDriverYCSBAllPlatforms(t *testing.T) {
+	for _, kind := range Platforms() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			c := fastCluster(t, kind, 4, 4)
+			r, err := Run(c, &YCSBWorkload{Records: 100}, RunConfig{
+				Clients:  4,
+				Threads:  2,
+				Rate:     40,
+				Duration: 3 * time.Second,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Committed == 0 {
+				t.Fatalf("no transactions committed: %+v", r)
+			}
+			if r.Throughput <= 0 {
+				t.Fatal("zero throughput")
+			}
+			if r.LatencyMean <= 0 {
+				t.Fatal("no latency samples")
+			}
+			if r.Blocks == 0 {
+				t.Fatal("no blocks")
+			}
+			t.Logf("%s", r)
+		})
+	}
+}
+
+func TestDriverBlockingMode(t *testing.T) {
+	c := fastCluster(t, Hyperledger, 4, 1)
+	r, err := Run(c, DoNothingWorkload{}, RunConfig{
+		Clients:  1,
+		Threads:  1,
+		Blocking: true,
+		Duration: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Committed == 0 {
+		t.Fatal("blocking mode committed nothing")
+	}
+	if r.LatencyP99 <= 0 {
+		t.Fatal("no latency distribution")
+	}
+}
+
+func TestDriverSmallbankConservation(t *testing.T) {
+	c := fastCluster(t, Hyperledger, 4, 2)
+	w := &SmallbankWorkload{Accounts: 20, InitialBalance: 1000}
+	if _, err := Run(c, w, RunConfig{
+		Clients: 2, Threads: 2, Rate: 50, Duration: 2 * time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Total funds = deposits only (sendPayment/amalgamate conserve;
+	// deposits add; writeCheck subtracts). Cross-check all replicas
+	// agree on every balance.
+	time.Sleep(300 * time.Millisecond)
+	cl0, cl1 := c.ClientOn(0, 0), c.ClientOn(0, 3)
+	for i := 0; i < 20; i++ {
+		b0, err := cl0.Query("smallbank", "getBalance", sbAcct(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b1, err := cl1.Query("smallbank", "getBalance", sbAcct(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b0) != string(b1) {
+			t.Fatalf("replica divergence on account %d", i)
+		}
+	}
+}
+
+func TestContractWorkloadsCommit(t *testing.T) {
+	// The three "real Ethereum contract" workloads run end-to-end.
+	workloads := []Workload{
+		&EtherIdWorkload{},
+		&DoublerWorkload{},
+		&WavesWorkload{},
+	}
+	for _, w := range workloads {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			c := fastCluster(t, Ethereum, 3, 2, w.Contracts()...)
+			r, err := Run(c, w, RunConfig{
+				Clients: 2, Threads: 1, Rate: 30, Duration: 2 * time.Second,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Committed == 0 {
+				t.Fatalf("%s committed nothing", w.Name())
+			}
+		})
+	}
+}
+
+func TestAnalyticsQ1Q2(t *testing.T) {
+	for _, kind := range []Platform{Ethereum, Hyperledger} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			c := fastClusterStopped(t, kind, 2, 8, "versionkv", "donothing")
+			a := &Analytics{Blocks: 50, TxPerBlock: 3, Accounts: 8}
+			if err := a.Init(c, rand.New(rand.NewSource(1))); err != nil {
+				t.Fatal(err)
+			}
+			c.Start()
+			client := c.Client(0)
+			total, d1, err := a.Q1(client, 1, 40)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if total == 0 {
+				t.Fatal("Q1 found no transaction value")
+			}
+			_, d2, err := a.Q2(client, a.Account(0), 1, 40)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d1 <= 0 || d2 <= 0 {
+				t.Fatal("zero latencies")
+			}
+			t.Logf("%s: q1=%v q2=%v", kind, d1, d2)
+		})
+	}
+}
+
+func TestPartitionAttackProducesForks(t *testing.T) {
+	c := fastCluster(t, Ethereum, 4, 2)
+	time.Sleep(300 * time.Millisecond)
+	c.PartitionHalves(2)
+	time.Sleep(500 * time.Millisecond)
+	c.Heal()
+	time.Sleep(800 * time.Millisecond)
+	total, main := c.ForkStats()
+	if total <= main {
+		t.Fatalf("no stale blocks: total=%d main=%d", total, main)
+	}
+}
+
+func TestHyperledgerNeverForks(t *testing.T) {
+	c := fastCluster(t, Hyperledger, 4, 2)
+	if _, err := Run(c, DoNothingWorkload{}, RunConfig{
+		Clients: 2, Threads: 2, Rate: 100, Duration: 2 * time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	total, main := c.ForkStats()
+	if total != main {
+		t.Fatalf("PBFT forked: total=%d main=%d", total, main)
+	}
+}
+
+func TestCrashFaultTolerance(t *testing.T) {
+	// Ethereum keeps committing after 1 of 4 miners dies.
+	c := fastCluster(t, Ethereum, 4, 2)
+	w := &YCSBWorkload{Records: 50}
+	if _, err := Run(c, w, RunConfig{Clients: 2, Rate: 20, Duration: time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	c.Crash(3)
+	r, err := Run(c, w, RunConfig{Clients: 2, Rate: 20, Duration: 2 * time.Second, SkipInit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Committed == 0 {
+		t.Fatal("no commits after crash of 1/4 miners")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := &Report{Platform: "ethereum", Workload: "ycsb", Nodes: 8, Clients: 8,
+		Throughput: 284, LatencyMean: 0.5, Blocks: 100, Duration: time.Minute,
+		ForkTotal: 105, ForkMain: 100}
+	s := r.String()
+	if s == "" {
+		t.Fatal("empty report string")
+	}
+}

@@ -1,0 +1,111 @@
+package blockbench
+
+import (
+	"sync/atomic"
+
+	"blockbench/internal/crypto"
+	"blockbench/internal/node"
+	"blockbench/internal/types"
+)
+
+// Op is one workload operation, wrapped by the driver into a blockchain
+// transaction (IWorkloadConnector's getNextTransaction output).
+type Op struct {
+	Contract string // empty = plain value transfer
+	Method   string
+	Args     [][]byte
+	Value    uint64
+	To       Address // value-transfer recipient
+	GasLimit uint64  // 0 = the driver default
+}
+
+// DefaultGasLimit is attached to operations that do not set their own.
+const DefaultGasLimit = 500_000
+
+// Client is the paper's IBlockchainConnector client half: one identity
+// talking to one server, submitting transactions asynchronously and
+// polling confirmed blocks.
+type Client struct {
+	cluster   *Cluster
+	key       *crypto.Key
+	node      *node.Node
+	signLocal bool
+	id        int
+	nonce     atomic.Uint64
+}
+
+// ID returns the client's index.
+func (c *Client) ID() int { return c.id }
+
+// Address returns the client's account address.
+func (c *Client) Address() Address { return c.key.Address() }
+
+// buildTx turns an operation into a transaction, assigning a fresh nonce
+// and signing client-side unless the platform signs at the server
+// (Parity).
+func (c *Client) buildTx(op Op) (*types.Transaction, error) {
+	gas := op.GasLimit
+	if gas == 0 {
+		gas = DefaultGasLimit
+	}
+	tx := &types.Transaction{
+		Nonce:    c.nonce.Add(1),
+		From:     c.key.Address(),
+		To:       op.To,
+		Value:    op.Value,
+		Contract: op.Contract,
+		Method:   op.Method,
+		Args:     op.Args,
+		GasLimit: gas,
+	}
+	if c.signLocal {
+		if err := crypto.SignTx(tx, c.key); err != nil {
+			return nil, err
+		}
+	}
+	return tx, nil
+}
+
+// Send submits an operation asynchronously, returning the transaction ID
+// to poll for.
+func (c *Client) Send(op Op) (Hash, error) {
+	tx, err := c.buildTx(op)
+	if err != nil {
+		return Hash{}, err
+	}
+	return c.node.SendTransaction(tx)
+}
+
+// BlocksFrom polls confirmed blocks above height h (getLatestBlock).
+func (c *Client) BlocksFrom(h uint64) ([]node.BlockInfo, error) {
+	return c.node.BlocksFrom(h)
+}
+
+// Height returns the confirmed chain height at the client's server.
+func (c *Client) Height() (uint64, error) { return c.node.Height() }
+
+// Committed reports whether the transaction is on the confirmed chain.
+func (c *Client) Committed(id Hash) (bool, error) {
+	r, ok, err := c.node.Receipt(id)
+	if err != nil || !ok {
+		return false, err
+	}
+	_ = r
+	return true, nil
+}
+
+// Query runs a read-only contract method at the client's server.
+func (c *Client) Query(contract, method string, args ...[]byte) ([]byte, error) {
+	return c.node.Query(contract, method, args)
+}
+
+// Block fetches a full block (analytics Q1 uses one RPC per block).
+func (c *Client) Block(number uint64) (*types.Block, error) {
+	return c.node.Block(number)
+}
+
+// BalanceAt reads an account balance at a block height (analytics Q2 on
+// Ethereum/Parity: one RPC per block scanned).
+func (c *Client) BalanceAt(addr Address, number uint64) (uint64, error) {
+	return c.node.BalanceAt(addr, number)
+}

@@ -1,0 +1,117 @@
+// Command blockbench runs one workload against one simulated platform
+// and prints the run's metrics — the CLI face of the framework's driver.
+//
+// Examples:
+//
+//	blockbench -platform hyperledger -workload ycsb -nodes 8 -clients 8 -rate 128 -duration 12s
+//	blockbench -platform ethereum -workload smallbank -blocking -duration 10s
+//	blockbench -platform parity -workload donothing -rate 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"blockbench"
+)
+
+func main() {
+	var (
+		platformName = flag.String("platform", "hyperledger", "ethereum | parity | hyperledger")
+		workloadName = flag.String("workload", "ycsb", "ycsb | smallbank | etherid | doubler | wavespresale | donothing | ioheavy | cpuheavy")
+		nodes        = flag.Int("nodes", 8, "number of server nodes")
+		clients      = flag.Int("clients", 8, "number of concurrent clients")
+		threads      = flag.Int("threads", 4, "submit threads per client")
+		rate         = flag.Float64("rate", 128, "offered load per client in tx/s (0 = max)")
+		duration     = flag.Duration("duration", 12*time.Second, "measurement window")
+		blocking     = flag.Bool("blocking", false, "closed loop: wait for each tx to commit")
+		records      = flag.Int("records", 1000, "YCSB records / Smallbank accounts to preload")
+		seed         = flag.Int64("seed", 42, "workload RNG seed")
+	)
+	flag.Parse()
+
+	w, err := workloadByName(*workloadName, *records)
+	if err != nil {
+		fatal(err)
+	}
+	kind, err := platformByName(*platformName)
+	if err != nil {
+		fatal(err)
+	}
+
+	c, err := blockbench.NewCluster(blockbench.ClusterConfig{
+		Kind:      kind,
+		Nodes:     *nodes,
+		Contracts: w.Contracts(),
+	}, *clients)
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Stop()
+	c.Start()
+
+	fmt.Printf("running %s on %s: %d nodes, %d clients x %d threads, %v\n",
+		w.Name(), kind, *nodes, *clients, *threads, *duration)
+
+	report, err := blockbench.Run(c, w, blockbench.RunConfig{
+		Clients:  *clients,
+		Threads:  *threads,
+		Rate:     *rate,
+		Blocking: *blocking,
+		Duration: *duration,
+		Seed:     *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Println(report)
+	fmt.Printf("  submitted=%d committed=%d submit-errors=%d\n",
+		report.Submitted, report.Committed, report.SubmitErrors)
+	fmt.Printf("  latency: mean=%.3fs p50=%.3fs p90=%.3fs p99=%.3fs\n",
+		report.LatencyMean, report.LatencyP50, report.LatencyP90, report.LatencyP99)
+	fmt.Printf("  blocks: %d (%.2f/s); forks: %d total / %d main\n",
+		report.Blocks, report.BlockRate(), report.ForkTotal, report.ForkMain)
+	fmt.Printf("  network: %.2f MB/s, %d msgs (%d dropped)\n",
+		report.NetworkMBps(), report.MsgsSent, report.MsgsDropped)
+}
+
+func workloadByName(name string, records int) (blockbench.Workload, error) {
+	switch name {
+	case "ycsb":
+		return &blockbench.YCSBWorkload{Records: records}, nil
+	case "smallbank":
+		return &blockbench.SmallbankWorkload{Accounts: records}, nil
+	case "etherid":
+		return &blockbench.EtherIdWorkload{}, nil
+	case "doubler":
+		return &blockbench.DoublerWorkload{}, nil
+	case "wavespresale":
+		return &blockbench.WavesWorkload{}, nil
+	case "donothing":
+		return blockbench.DoNothingWorkload{}, nil
+	case "ioheavy":
+		return &blockbench.IOHeavyWorkload{Write: true, TuplesPerTx: 1000}, nil
+	case "cpuheavy":
+		return &blockbench.CPUHeavyWorkload{N: 10000}, nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+func platformByName(name string) (blockbench.Platform, error) {
+	for _, k := range blockbench.Platforms() {
+		if string(k) == name {
+			return k, nil
+		}
+	}
+	return "", fmt.Errorf("unknown platform %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "blockbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// Command experiments regenerates the paper's tables and figures. Each
+// experiment prints the series/rows the corresponding figure plots, and
+// optionally writes them to per-experiment text files.
+//
+//	experiments -list
+//	experiments -run fig11
+//	experiments -run all -scale quick -out results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"blockbench/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "experiment id (fig5..fig19) or 'all'")
+		scale = flag.String("scale", "full", "full | quick")
+		out   = flag.String("out", "", "directory for per-experiment result files")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	s := experiments.Full
+	if *scale == "quick" {
+		s = experiments.Quick
+	}
+
+	ids := experiments.IDs()
+	if *run != "all" {
+		ids = []string{*run}
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	exit := 0
+	for _, id := range ids {
+		fn, ok := experiments.Get(id)
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q", id))
+		}
+		start := time.Now()
+		res, err := fn(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: FAILED: %v\n", id, err)
+			exit = 1
+			continue
+		}
+		fmt.Print(res.String())
+		fmt.Printf("(%s took %v)\n\n", id, time.Since(start).Round(time.Second))
+		if *out != "" {
+			path := filepath.Join(*out, id+".txt")
+			if err := os.WriteFile(path, []byte(res.String()), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	os.Exit(exit)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

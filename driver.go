@@ -1,0 +1,348 @@
+package blockbench
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blockbench/internal/metrics"
+)
+
+// Workload is the paper's IWorkloadConnector: it names the contracts it
+// needs and produces the next operation per client.
+type Workload interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// Contracts lists contract names that must be deployed.
+	Contracts() []string
+	// Init pre-loads the blockchain (records, accounts, history) before
+	// measurement starts.
+	Init(c *Cluster, rng *rand.Rand) error
+	// Next returns the next operation for the given client. It is
+	// called from one goroutine per client.
+	Next(clientID int, rng *rand.Rand) Op
+}
+
+// RunConfig parameterizes one driver run (the paper's user-defined
+// configuration: number of clients, threads, rate, duration).
+type RunConfig struct {
+	// Clients is the number of concurrent client processes; client i
+	// talks to server i mod N.
+	Clients int
+	// Threads is the number of submit threads per client.
+	Threads int
+	// Rate is the per-client offered load in tx/s (open loop). Zero
+	// with Blocking=false means submit as fast as possible.
+	Rate float64
+	// Blocking switches to closed-loop operation: each thread waits for
+	// its transaction to commit before sending the next one (the
+	// paper's latency measurement mode).
+	Blocking bool
+	// Duration is the measurement window.
+	Duration time.Duration
+	// PollInterval is the confirmation polling period (default 10ms).
+	PollInterval time.Duration
+	// Bucket is the time-series resolution (default 250ms — the
+	// equivalent of the paper's per-second series at 25x time scale).
+	Bucket time.Duration
+	// Seed makes workload choices reproducible.
+	Seed int64
+	// SkipInit suppresses workload preloading (reuse a warm cluster).
+	SkipInit bool
+}
+
+func (cfg *RunConfig) fill() {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 10 * time.Millisecond
+	}
+	if cfg.Bucket <= 0 {
+		cfg.Bucket = 250 * time.Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+}
+
+// clientState tracks one client's outstanding transactions and local
+// send queue (the paper's Fig 6/18 queue-length metric counts both).
+type clientState struct {
+	client *Client
+
+	mu          sync.Mutex
+	queue       []Op // generated but not yet accepted by the server
+	outstanding map[Hash]time.Time
+	polledTo    uint64
+}
+
+func (cs *clientState) queueLen() int {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return len(cs.queue) + len(cs.outstanding)
+}
+
+// Run executes a workload against a started cluster and reports the
+// paper's metrics.
+func Run(c *Cluster, w Workload, cfg RunConfig) (*Report, error) {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if !cfg.SkipInit {
+		if err := w.Init(c, rng); err != nil {
+			return nil, fmt.Errorf("blockbench: workload init: %w", err)
+		}
+	}
+
+	start := time.Now()
+	end := start.Add(cfg.Duration)
+	var (
+		committed    atomic.Uint64
+		submitted    atomic.Uint64
+		submitErrors atomic.Uint64
+		latency      metrics.Histogram
+		queueSeries  = metrics.NewTimeSeries(start, cfg.Bucket, true)
+		commitSeries = metrics.NewTimeSeries(start, cfg.Bucket, false)
+	)
+	netBefore := c.inner.Net.Stats()
+	resBefore := resourceSnapshot(c)
+	startHeight := c.Height()
+
+	states := make([]*clientState, cfg.Clients)
+	for i := range states {
+		states[i] = &clientState{
+			client:      c.Client(i),
+			outstanding: make(map[Hash]time.Time),
+		}
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	if cfg.Blocking {
+		runBlocking(states, w, cfg, end, &wg, &committed, &submitted, &submitErrors, &latency)
+	} else {
+		runOpenLoop(states, w, cfg, end, stop, &wg, &submitted, &submitErrors)
+	}
+
+	// One poller per client matches the paper's driver: a polling thread
+	// invokes getLatestBlock(h) and matches returned transaction IDs
+	// against the outstanding queue.
+	if !cfg.Blocking {
+		for _, cs := range states {
+			wg.Add(1)
+			go func(cs *clientState) {
+				defer wg.Done()
+				tick := time.NewTicker(cfg.PollInterval)
+				defer tick.Stop()
+				for {
+					select {
+					case <-stop:
+						return
+					case now := <-tick.C:
+						pollOnce(cs, now, &committed, &latency, commitSeries)
+						queueSeries.Sample(now, float64(cs.queueLen()))
+					}
+				}
+			}(cs)
+		}
+		// Close the run at the deadline.
+		time.Sleep(time.Until(end))
+		close(stop)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	netAfter := c.inner.Net.Stats()
+	resAfter := resourceSnapshot(c)
+	total, mainChain := c.ForkStats()
+
+	r := &Report{
+		Platform:     string(c.Kind()),
+		Workload:     w.Name(),
+		Nodes:        c.Size(),
+		Clients:      cfg.Clients,
+		Duration:     elapsed,
+		Submitted:    submitted.Load(),
+		SubmitErrors: submitErrors.Load(),
+		Committed:    committed.Load(),
+		Throughput:   float64(committed.Load()) / cfg.Duration.Seconds(),
+		LatencyMean:  latency.Mean(),
+		LatencyP50:   latency.Quantile(0.50),
+		LatencyP90:   latency.Quantile(0.90),
+		LatencyP99:   latency.Quantile(0.99),
+		QueueSeries:  queueSeries.Values(),
+		CommitSeries: commitSeries.Values(),
+		Bucket:       cfg.Bucket,
+		Blocks:       c.Height() - startHeight,
+		ForkTotal:    total,
+		ForkMain:     mainChain,
+		BytesSent:    netAfter.BytesSent - netBefore.BytesSent,
+		MsgsSent:     netAfter.MessagesSent - netBefore.MessagesSent,
+		MsgsDropped:  netAfter.MessagesDropped - netBefore.MessagesDropped,
+		PowHashes:    resAfter.powHashes - resBefore.powHashes,
+		ExecTime:     resAfter.execTime - resBefore.execTime,
+	}
+	cdfV, cdfF := latency.CDF(40)
+	r.LatencyCDFValues, r.LatencyCDFFractions = cdfV, cdfF
+	return r, nil
+}
+
+// runOpenLoop starts generators (one per client, producing at Rate) and
+// sender threads that drain each client's queue.
+func runOpenLoop(states []*clientState, w Workload, cfg RunConfig, end time.Time,
+	stop chan struct{}, wg *sync.WaitGroup,
+	submitted, submitErrors *atomic.Uint64) {
+
+	for i, cs := range states {
+		gen := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+		wg.Add(1)
+		go func(i int, cs *clientState, gen *rand.Rand) {
+			defer wg.Done()
+			if cfg.Rate <= 0 {
+				// As-fast-as-possible: keep a small standing queue.
+				for time.Now().Before(end) {
+					cs.mu.Lock()
+					n := len(cs.queue)
+					cs.mu.Unlock()
+					if n < cfg.Threads*4 {
+						op := w.Next(i, gen)
+						cs.mu.Lock()
+						cs.queue = append(cs.queue, op)
+						cs.mu.Unlock()
+					} else {
+						time.Sleep(200 * time.Microsecond)
+					}
+				}
+				return
+			}
+			interval := time.Duration(float64(time.Second) / cfg.Rate)
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for now := range tick.C {
+				if now.After(end) {
+					return
+				}
+				op := w.Next(i, gen)
+				cs.mu.Lock()
+				cs.queue = append(cs.queue, op)
+				cs.mu.Unlock()
+			}
+		}(i, cs, gen)
+
+		for t := 0; t < cfg.Threads; t++ {
+			wg.Add(1)
+			go func(cs *clientState) {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					cs.mu.Lock()
+					if len(cs.queue) == 0 {
+						cs.mu.Unlock()
+						time.Sleep(500 * time.Microsecond)
+						continue
+					}
+					op := cs.queue[0]
+					cs.queue = cs.queue[1:]
+					cs.mu.Unlock()
+
+					id, err := cs.client.Send(op)
+					if err != nil {
+						// Server busy (Parity's admission cap) or down:
+						// the operation stays queued client-side.
+						submitErrors.Add(1)
+						cs.mu.Lock()
+						cs.queue = append([]Op{op}, cs.queue...)
+						cs.mu.Unlock()
+						time.Sleep(2 * time.Millisecond)
+						continue
+					}
+					submitted.Add(1)
+					cs.mu.Lock()
+					cs.outstanding[id] = time.Now()
+					cs.mu.Unlock()
+				}
+			}(cs)
+		}
+	}
+}
+
+// runBlocking implements the closed-loop latency mode: each thread
+// submits one transaction and polls until it commits.
+func runBlocking(states []*clientState, w Workload, cfg RunConfig, end time.Time,
+	wg *sync.WaitGroup, committed, submitted, submitErrors *atomic.Uint64,
+	latency *metrics.Histogram) {
+
+	for i, cs := range states {
+		for t := 0; t < cfg.Threads; t++ {
+			gen := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919 + int64(t)*104729))
+			wg.Add(1)
+			go func(i int, cs *clientState, gen *rand.Rand) {
+				defer wg.Done()
+				for time.Now().Before(end) {
+					op := w.Next(i, gen)
+					t0 := time.Now()
+					id, err := cs.client.Send(op)
+					if err != nil {
+						submitErrors.Add(1)
+						time.Sleep(2 * time.Millisecond)
+						continue
+					}
+					submitted.Add(1)
+					for time.Now().Before(end.Add(10 * time.Second)) {
+						ok, err := cs.client.Committed(id)
+						if err != nil {
+							break
+						}
+						if ok {
+							latency.Observe(time.Since(t0))
+							committed.Add(1)
+							break
+						}
+						time.Sleep(cfg.PollInterval)
+					}
+				}
+			}(i, cs, gen)
+		}
+	}
+}
+
+// pollOnce advances one client's confirmation polling.
+func pollOnce(cs *clientState, now time.Time, committed *atomic.Uint64,
+	latency *metrics.Histogram, commitSeries *metrics.TimeSeries) {
+
+	blocks, err := cs.client.BlocksFrom(cs.polledTo)
+	if err != nil {
+		return
+	}
+	for _, b := range blocks {
+		if b.Number > cs.polledTo {
+			cs.polledTo = b.Number
+		}
+		for _, id := range b.TxIDs {
+			cs.mu.Lock()
+			t0, mine := cs.outstanding[id]
+			if mine {
+				delete(cs.outstanding, id)
+			}
+			cs.mu.Unlock()
+			if mine {
+				latency.Observe(now.Sub(t0))
+				committed.Add(1)
+				commitSeries.Sample(now, 1)
+			}
+		}
+	}
+}

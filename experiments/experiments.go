@@ -1,0 +1,127 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4 and appendices): peak performance, rate sweeps, queue
+// behaviour, scalability, fault tolerance, the partition attack,
+// CPUHeavy, IOHeavy, analytics, DoNothing, the H-Store comparison, block
+// sizes, resource utilization, latency distributions.
+//
+// Each experiment is registered by figure ID and produces a Result whose
+// rows mirror the series the paper plots. Absolute numbers are at the
+// repository's simulation scale (see DESIGN.md); the shape checks —
+// which system wins, by what rough factor, where it breaks — are the
+// reproduction target and are recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"blockbench"
+)
+
+// Scale sizes an experiment run.
+type Scale struct {
+	// Duration of each measured run.
+	Duration time.Duration
+	// Shrink divides sweep sizes and preload volumes (quick CI runs).
+	Shrink int
+}
+
+// Full is the default scale: 12 s runs (the paper's 5 minutes at 25x).
+var Full = Scale{Duration: 12 * time.Second, Shrink: 1}
+
+// Quick is a fast smoke scale for benchmarks and CI.
+var Quick = Scale{Duration: 3 * time.Second, Shrink: 4}
+
+// Result is one experiment's printable output.
+type Result struct {
+	ID    string
+	Title string
+	Rows  []string
+}
+
+func (r *Result) addf(format string, args ...any) {
+	r.Rows = append(r.Rows, fmt.Sprintf(format, args...))
+}
+
+// String renders the result as the paper-style text block.
+func (r *Result) String() string {
+	out := fmt.Sprintf("== %s: %s ==\n", r.ID, r.Title)
+	for _, row := range r.Rows {
+		out += row + "\n"
+	}
+	return out
+}
+
+// Runner is an experiment entry point.
+type Runner func(s Scale) (*Result, error)
+
+var registry = map[string]Runner{}
+var order []string
+
+func register(id string, fn Runner) {
+	registry[id] = fn
+	order = append(order, id)
+}
+
+// IDs lists registered experiment IDs in figure order.
+func IDs() []string {
+	out := append([]string(nil), order...)
+	sort.Strings(out)
+	return out
+}
+
+// Get returns the runner for an experiment ID.
+func Get(id string) (Runner, bool) {
+	fn, ok := registry[id]
+	return fn, ok
+}
+
+// platforms under study, in the paper's presentation order.
+var platforms = []blockbench.Platform{
+	blockbench.Ethereum, blockbench.Parity, blockbench.Hyperledger,
+}
+
+// newCluster builds a stopped cluster with paper-faithful defaults.
+func newCluster(kind blockbench.Platform, nodes, clients int,
+	w blockbench.Workload, tweak func(*blockbench.ClusterConfig)) (*blockbench.Cluster, error) {
+
+	cfg := blockbench.ClusterConfig{Kind: kind, Nodes: nodes}
+	if w != nil {
+		cfg.Contracts = w.Contracts()
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	return blockbench.NewCluster(cfg, clients)
+}
+
+// measure runs one workload on a fresh cluster: preload while stopped,
+// then start and drive.
+func measure(kind blockbench.Platform, nodes, clients int, w blockbench.Workload,
+	rc blockbench.RunConfig, tweak func(*blockbench.ClusterConfig)) (*blockbench.Report, error) {
+
+	c, err := newCluster(kind, nodes, clients, w, tweak)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Stop()
+	if err := w.Init(c, rand.New(rand.NewSource(7))); err != nil {
+		return nil, err
+	}
+	c.Start()
+	rc.SkipInit = true
+	if rc.Clients == 0 {
+		rc.Clients = clients
+	}
+	return blockbench.Run(c, w, rc)
+}
+
+func fmtSeries(vals []float64, every int) string {
+	out := ""
+	for i := 0; i < len(vals); i += every {
+		out += fmt.Sprintf("%.0f ", vals[i])
+	}
+	return out
+}

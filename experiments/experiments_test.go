@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tiny is an even smaller scale than Quick, for unit tests.
+var tiny = Scale{Duration: 1500 * time.Millisecond, Shrink: 10}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "fig13c", "fig14", "fig15", "fig16",
+		"fig17", "fig18", "fig19", "abl-inbox", "abl-cache", "abl-signing"}
+	ids := IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("registered %d experiments, want %d: %v", len(ids), len(want), ids)
+	}
+	for _, id := range want {
+		if _, ok := Get(id); !ok {
+			t.Fatalf("missing experiment %s", id)
+		}
+	}
+}
+
+func TestFig11CPUHeavyShape(t *testing.T) {
+	res, err := Fig11CPUHeavy(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.String()
+	// Every platform produced rows and Hyperledger appears.
+	for _, p := range []string{"ethereum", "parity", "hyperledger"} {
+		if !strings.Contains(out, p) {
+			t.Fatalf("missing platform %s in:\n%s", p, out)
+		}
+	}
+	t.Log("\n" + out)
+}
+
+func TestFig13AnalyticsShape(t *testing.T) {
+	res, err := Fig13Analytics(Scale{Duration: time.Second, Shrink: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	t.Log("\n" + res.String())
+}
+
+func TestFig14HStoreBaseline(t *testing.T) {
+	tput, err := runHStore("ycsb", 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tputSB, err := runHStore("smallbank", 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// H-Store YCSB must be far above any blockchain (>10k tx/s) and
+	// Smallbank slower than YCSB (2PC cost).
+	if tput < 10_000 {
+		t.Fatalf("h-store ycsb only %.0f tx/s", tput)
+	}
+	if tputSB >= tput {
+		t.Fatalf("smallbank (%.0f) not slower than ycsb (%.0f)", tputSB, tput)
+	}
+	t.Logf("h-store: ycsb=%.0f smallbank=%.0f", tput, tputSB)
+}
+
+func TestFig10PartitionAttackShape(t *testing.T) {
+	res, err := Fig10PartitionAttack(Scale{Duration: 3 * time.Second, Shrink: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.String()
+	t.Log("\n" + out)
+	// Hyperledger must report zero stale blocks.
+	for _, row := range res.Rows {
+		if strings.HasPrefix(row, "hyperledger") && !strings.Contains(row, "stale=  0") {
+			t.Fatalf("hyperledger forked: %s", row)
+		}
+	}
+}

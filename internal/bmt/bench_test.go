@@ -1,0 +1,44 @@
+package bmt
+
+import (
+	"fmt"
+	"testing"
+
+	"blockbench/internal/kvstore"
+)
+
+func BenchmarkBucketPut(b *testing.B) {
+	tr, _ := New(kvstore.NewMem(), Options{})
+	val := make([]byte, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Put([]byte(fmt.Sprintf("key-%09d", i)), val)
+	}
+}
+
+func BenchmarkBucketGet(b *testing.B) {
+	tr, _ := New(kvstore.NewMem(), Options{})
+	const keys = 10_000
+	for i := 0; i < keys; i++ {
+		tr.Put([]byte(fmt.Sprintf("key-%09d", i)), make([]byte, 100))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get([]byte(fmt.Sprintf("key-%09d", i%keys)))
+	}
+}
+
+func BenchmarkBucketCommit1k(b *testing.B) {
+	tr, _ := New(kvstore.NewMem(), Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for j := 0; j < 1000; j++ {
+			tr.Put([]byte(fmt.Sprintf("key-%d-%d", i, j)), make([]byte, 100))
+		}
+		b.StartTimer()
+		if _, err := tr.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

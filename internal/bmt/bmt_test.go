@@ -1,0 +1,185 @@
+package bmt
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"blockbench/internal/kvstore"
+)
+
+func newTree(t *testing.T) *Tree {
+	t.Helper()
+	tr, err := New(kvstore.NewMem(), Options{NumBuckets: 101, Grouping: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestEmptyRoot(t *testing.T) {
+	tr := newTree(t)
+	r, err := tr.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.IsZero() {
+		t.Fatal("empty tree root should be zero")
+	}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	tr := newTree(t)
+	if err := tr.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := tr.Get([]byte("k"))
+	if err != nil || string(v) != "v" {
+		t.Fatalf("get = %q, %v", v, err)
+	}
+	if err := tr.Delete([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := tr.Get([]byte("k")); v != nil {
+		t.Fatal("delete failed")
+	}
+}
+
+func TestRootCanonical(t *testing.T) {
+	build := func(perm []int) [32]byte {
+		tr := newTree(t)
+		for _, i := range perm {
+			tr.Put([]byte(fmt.Sprintf("key-%03d", i)), []byte(fmt.Sprintf("val-%d", i)))
+		}
+		r, err := tr.Commit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	base := make([]int, 40)
+	for i := range base {
+		base[i] = i
+	}
+	r1 := build(base)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 3; trial++ {
+		if r2 := build(rng.Perm(40)); r2 != r1 {
+			t.Fatal("root depends on insertion order")
+		}
+	}
+}
+
+func TestRootChangesOnUpdate(t *testing.T) {
+	tr := newTree(t)
+	tr.Put([]byte("a"), []byte("1"))
+	r1, _ := tr.Commit()
+	tr.Put([]byte("a"), []byte("2"))
+	r2, _ := tr.Commit()
+	if r1 == r2 {
+		t.Fatal("root ignored value update")
+	}
+	tr.Put([]byte("a"), []byte("1"))
+	r3, _ := tr.Commit()
+	if r3 != r1 {
+		t.Fatal("root not canonical after revert")
+	}
+}
+
+func TestDeleteRestoresRoot(t *testing.T) {
+	tr := newTree(t)
+	tr.Put([]byte("x"), []byte("1"))
+	r1, _ := tr.Commit()
+	tr.Put([]byte("y"), []byte("2"))
+	tr.Commit()
+	tr.Delete([]byte("y"))
+	r2, _ := tr.Commit()
+	if r1 != r2 {
+		t.Fatal("delete did not restore root")
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	store := kvstore.NewMem()
+	tr, err := New(store, Options{NumBuckets: 101, Grouping: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		tr.Put([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	r1, err := tr.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr2, err := New(store, Options{NumBuckets: 101, Grouping: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr2.RootHash(); got != r1 {
+		t.Fatalf("reopened root %v != %v", got, r1)
+	}
+	v, err := tr2.Get([]byte("k042"))
+	if err != nil || string(v) != "v42" {
+		t.Fatalf("reopened get = %q, %v", v, err)
+	}
+}
+
+func TestModelEquivalence(t *testing.T) {
+	tr := newTree(t)
+	model := map[string][]byte{}
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 3000; i++ {
+		k := []byte(fmt.Sprintf("key-%03d", rng.Intn(250)))
+		switch rng.Intn(3) {
+		case 0:
+			v := []byte(fmt.Sprintf("val-%d", i))
+			if err := tr.Put(k, v); err != nil {
+				t.Fatal(err)
+			}
+			model[string(k)] = v
+		case 1:
+			if err := tr.Delete(k); err != nil {
+				t.Fatal(err)
+			}
+			delete(model, string(k))
+		case 2:
+			got, err := tr.Get(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := model[string(k)]
+			if !bytes.Equal(got, want) {
+				t.Fatalf("op %d: %s = %q want %q", i, k, got, want)
+			}
+		}
+	}
+	count := 0
+	tr.Iterate(func(k, v []byte) bool {
+		if !bytes.Equal(model[string(k)], v) {
+			t.Fatalf("iterate mismatch at %s", k)
+		}
+		count++
+		return true
+	})
+	if count != len(model) {
+		t.Fatalf("iterated %d keys, model has %d", count, len(model))
+	}
+}
+
+func TestDiskFootprintFlat(t *testing.T) {
+	// One state key should cost roughly one store record (plus digests),
+	// in contrast to the MPT's multi-node paths.
+	store := kvstore.NewMem()
+	tr, _ := New(store, Options{NumBuckets: 101})
+	const keys = 1000
+	for i := 0; i < keys; i++ {
+		tr.Put([]byte(fmt.Sprintf("key-%06d", i)), make([]byte, 100))
+	}
+	tr.Commit()
+	if got := store.Stats().Keys; got > keys+101 {
+		t.Fatalf("store keys = %d, want <= %d", got, keys+101)
+	}
+}

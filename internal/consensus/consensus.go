@@ -1,0 +1,137 @@
+// Package consensus defines the interface between a blockchain node and
+// its consensus engine, plus the block-synchronization protocol shared
+// by the forking engines (PoW, PoA). The three engines — proof-of-work
+// (Ethereum), proof-of-authority (Parity) and PBFT (Hyperledger Fabric
+// v0.6) — live in subpackages.
+package consensus
+
+import (
+	"blockbench/internal/ledger"
+	"blockbench/internal/simnet"
+	"blockbench/internal/txpool"
+	"blockbench/internal/types"
+)
+
+// Message type tags on the simulated network.
+const (
+	MsgTx       = "tx"        // *types.Transaction gossip
+	MsgBlock    = "block"     // *types.Block propagation (PoW/PoA)
+	MsgSyncReq  = "sync_req"  // *SyncReq: give me blocks after height H
+	MsgSyncResp = "sync_resp" // *SyncResp: canonical blocks in order
+)
+
+// Context carries the node-side dependencies an engine needs.
+type Context struct {
+	Self     simnet.NodeID
+	Endpoint *simnet.Endpoint
+	Chain    *ledger.Chain
+	Pool     *txpool.Pool
+	Address  types.Address
+	Peers    []simnet.NodeID // all nodes including self
+}
+
+// Engine is a consensus protocol instance driving one node.
+type Engine interface {
+	// Start launches the engine's goroutines (mining loop, step timer,
+	// batch timer...).
+	Start()
+	// Stop halts them. Engines must tolerate Stop before Start.
+	Stop()
+	// Handle processes one network message, returning false if the
+	// message type is not for this engine.
+	Handle(msg simnet.Message) bool
+}
+
+// Locator identifies one block on the requester's canonical chain.
+type Locator struct {
+	Number uint64
+	Hash   types.Hash
+}
+
+// SyncReq asks a peer for canonical blocks past the newest locator the
+// peer recognizes. The locator list walks back from the requester's head
+// with exponentially growing gaps (as in Bitcoin's getblocks), so peers
+// on a different fork can still find the common ancestor.
+type SyncReq struct{ Locators []Locator }
+
+// WireSize implements simnet.Sizer.
+func (r *SyncReq) WireSize() int { return 8 + len(r.Locators)*(8+types.HashSize) }
+
+// SyncResp carries a batch of canonical blocks.
+type SyncResp struct{ Blocks []*types.Block }
+
+// WireSize implements simnet.Sizer.
+func (r *SyncResp) WireSize() int {
+	n := 8
+	for _, b := range r.Blocks {
+		n += b.WireSize()
+	}
+	return n
+}
+
+// maxSyncBatch bounds one sync response; laggards re-request.
+const maxSyncBatch = 128
+
+// HandleSync implements both sides of the sync protocol. It returns true
+// if the message was a sync message.
+func HandleSync(ctx Context, msg simnet.Message) bool {
+	switch msg.Type {
+	case MsgSyncReq:
+		req, ok := msg.Payload.(*SyncReq)
+		if !ok || msg.Corrupt {
+			return true
+		}
+		// Find the newest locator that is on our canonical chain; send
+		// everything after it (which may replace the requester's fork).
+		var from uint64
+		for _, loc := range req.Locators {
+			if b, ok := ctx.Chain.GetBlock(loc.Number); ok && b.Hash() == loc.Hash {
+				from = loc.Number
+				break
+			}
+		}
+		blocks := ctx.Chain.BlocksFrom(from, maxSyncBatch)
+		if len(blocks) > 0 {
+			ctx.Endpoint.Send(msg.From, MsgSyncResp, &SyncResp{Blocks: blocks})
+		}
+		return true
+	case MsgSyncResp:
+		resp, ok := msg.Payload.(*SyncResp)
+		if !ok || msg.Corrupt {
+			return true
+		}
+		for _, b := range resp.Blocks {
+			if err := ctx.Chain.Append(b); err != nil {
+				break
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// RequestSync asks peer for everything past our chain, sending a locator
+// walk so the peer can find the fork point if our head is on a dead
+// branch.
+func RequestSync(ctx Context, peer simnet.NodeID) {
+	head := ctx.Chain.Height()
+	var locs []Locator
+	step := uint64(1)
+	for n := head; ; {
+		if b, ok := ctx.Chain.GetBlock(n); ok {
+			locs = append(locs, Locator{Number: n, Hash: b.Hash()})
+		}
+		if n == 0 || len(locs) >= 32 {
+			break
+		}
+		if n < step {
+			n = 0
+		} else {
+			n -= step
+		}
+		if len(locs) >= 8 {
+			step *= 2
+		}
+	}
+	ctx.Endpoint.Send(peer, MsgSyncReq, &SyncReq{Locators: locs})
+}

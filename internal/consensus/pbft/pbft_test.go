@@ -1,0 +1,146 @@
+package pbft
+
+import (
+	"testing"
+	"time"
+
+	"blockbench/internal/consensus"
+	"blockbench/internal/exec"
+	"blockbench/internal/kvstore"
+	"blockbench/internal/ledger"
+	"blockbench/internal/simnet"
+	"blockbench/internal/state"
+	"blockbench/internal/types"
+)
+
+func testChain(t *testing.T) *ledger.Chain {
+	t.Helper()
+	store := kvstore.NewMem()
+	eng, err := exec.NewNativeEngine("donothing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ledger.New(ledger.Config{
+		Engine: eng,
+		StateFactory: func(root types.Hash) (*state.DB, error) {
+			b, err := state.NewTrieBackend(store, root, 0)
+			if err != nil {
+				return nil, err
+			}
+			return state.NewDB(b), nil
+		},
+		SupportsForks: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func engineOf(n int, self int) *Engine {
+	peers := make([]simnet.NodeID, n)
+	for i := range peers {
+		peers[i] = simnet.NodeID(i)
+	}
+	return New(consensus.Context{Self: simnet.NodeID(self), Peers: peers},
+		DefaultOptions())
+}
+
+func TestQuorumMath(t *testing.T) {
+	// f = (n-1)/3, quorum = 2f+1 — the paper's "fewer than N/3 failures".
+	cases := map[int]int{4: 3, 7: 5, 8: 5, 10: 7, 12: 7, 13: 9, 16: 11}
+	for n, want := range cases {
+		e := engineOf(n, 0)
+		if got := e.quorum(); got != want {
+			t.Errorf("n=%d: quorum = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestPrimaryRotation(t *testing.T) {
+	e := engineOf(4, 0)
+	for v := uint64(0); v < 8; v++ {
+		if got := e.primaryOf(v); got != simnet.NodeID(v%4) {
+			t.Fatalf("view %d: primary = %v", v, got)
+		}
+	}
+}
+
+func TestDigestDeterministicAndBinding(t *testing.T) {
+	txs := []*types.Transaction{{Nonce: 1}, {Nonce: 2}}
+	d1 := digestOf(3, 7, txs)
+	d2 := digestOf(3, 7, txs)
+	if d1 != d2 {
+		t.Fatal("digest unstable")
+	}
+	if digestOf(4, 7, txs) == d1 {
+		t.Fatal("digest ignores view")
+	}
+	if digestOf(3, 8, txs) == d1 {
+		t.Fatal("digest ignores seq")
+	}
+	if digestOf(3, 7, txs[:1]) == d1 {
+		t.Fatal("digest ignores batch content")
+	}
+}
+
+func TestViewChangeVotesTriggerJoinAndEnter(t *testing.T) {
+	// A replica that sees f+1 votes for a higher view joins it; on 2f+1
+	// it enters the view. n=4 → f=1, quorum=3.
+	net := simnet.New(simnet.Config{BaseLatency: time.Microsecond, InboxSize: 64})
+	defer net.Close()
+	ep := net.Join(0)
+	e := New(consensus.Context{Self: 0, Peers: []simnet.NodeID{0, 1, 2, 3},
+		Endpoint: ep, Chain: testChain(t)}, DefaultOptions())
+
+	e.mu.Lock()
+	e.recordViewVoteLocked(1, &ViewChange{NewView: 1})
+	joined := e.votedView
+	e.mu.Unlock()
+	if joined != 0 {
+		t.Fatal("joined view change with only one foreign vote (f+1 = 2 needed)")
+	}
+
+	e.mu.Lock()
+	e.recordViewVoteLocked(2, &ViewChange{NewView: 1})
+	// Two foreign votes = f+1 → we vote too (3 total = quorum) → enter.
+	view, voted := e.view, e.votedView
+	e.mu.Unlock()
+	if voted != 1 {
+		t.Fatalf("votedView = %d, want 1", voted)
+	}
+	if view != 1 {
+		t.Fatalf("view = %d, want 1 (entered)", view)
+	}
+	if e.ViewChanges() != 1 {
+		t.Fatal("view change counter not bumped")
+	}
+}
+
+func TestStaleViewChangeIgnored(t *testing.T) {
+	e := engineOf(4, 0)
+	e.mu.Lock()
+	e.view = 5
+	e.mu.Unlock()
+	e.onViewChange(1, &ViewChange{NewView: 3})
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.vcVotes[3]) != 0 {
+		t.Fatal("stale view-change vote recorded")
+	}
+}
+
+func TestWireSizes(t *testing.T) {
+	pp := &PrePrepare{Txs: []*types.Transaction{{Method: "m"}}}
+	if pp.WireSize() <= 24 {
+		t.Fatal("pre-prepare size ignores txs")
+	}
+	v := &Vote{}
+	if v.WireSize() != 24+types.HashSize {
+		t.Fatal("vote size wrong")
+	}
+	vc := &ViewChange{Prepared: []PreparedProof{{Txs: []*types.Transaction{{}}}}}
+	if vc.WireSize() <= 48 {
+		t.Fatal("view-change size ignores proofs")
+	}
+}

@@ -1,0 +1,59 @@
+package poa
+
+import (
+	"testing"
+	"time"
+
+	"blockbench/internal/consensus"
+	"blockbench/internal/types"
+)
+
+func addrs(n int) []types.Address {
+	out := make([]types.Address, n)
+	for i := range out {
+		out[i] = types.BytesToAddress([]byte{byte(i + 1)})
+	}
+	return out
+}
+
+func TestMyTurnRoundRobin(t *testing.T) {
+	auth := addrs(4)
+	for i, a := range auth {
+		e := New(consensus.Context{Address: a}, Options{
+			StepDuration: time.Millisecond, Authorities: auth,
+		})
+		for step := int64(0); step < 12; step++ {
+			want := step%4 == int64(i)
+			if got := e.myTurn(step); got != want {
+				t.Fatalf("authority %d step %d: myTurn = %v, want %v", i, step, got, want)
+			}
+		}
+	}
+}
+
+func TestMyTurnNoAuthorities(t *testing.T) {
+	e := New(consensus.Context{}, Options{StepDuration: time.Millisecond})
+	if e.myTurn(5) {
+		t.Fatal("turn granted with empty authority set")
+	}
+}
+
+func TestValidProposerChecksSlotOwner(t *testing.T) {
+	auth := addrs(3)
+	e := New(consensus.Context{Address: auth[0]}, Options{
+		StepDuration: time.Millisecond, Authorities: auth,
+	})
+	// Step (View) 7 belongs to authority 7 % 3 = 1.
+	good := &types.Block{Header: types.Header{View: 7, Proposer: auth[1]}}
+	if !e.validProposer(good) {
+		t.Fatal("legitimate slot owner rejected")
+	}
+	bad := &types.Block{Header: types.Header{View: 7, Proposer: auth[2]}}
+	if e.validProposer(bad) {
+		t.Fatal("slot thief accepted")
+	}
+	e2 := New(consensus.Context{}, Options{StepDuration: time.Millisecond})
+	if e2.validProposer(good) {
+		t.Fatal("empty authority set accepted a proposer")
+	}
+}

@@ -1,0 +1,92 @@
+package pow
+
+import (
+	"testing"
+	"time"
+
+	"blockbench/internal/consensus"
+	"blockbench/internal/types"
+)
+
+func TestSealOKRejectsWrongNonce(t *testing.T) {
+	h := &types.Header{Number: 1, Difficulty: 4} // very easy target
+	// Find a valid nonce by brute force.
+	found := false
+	for n := uint64(0); n < 10_000; n++ {
+		h.PowNonce = n
+		if SealOK(h) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no nonce found at difficulty 4")
+	}
+	// Mutating the header invalidates the seal with overwhelming
+	// probability at higher difficulty.
+	h2 := *h
+	h2.Difficulty = 1 << 40
+	if SealOK(&h2) {
+		t.Fatal("seal valid at astronomically higher difficulty")
+	}
+}
+
+func TestSealOKZeroDifficulty(t *testing.T) {
+	if SealOK(&types.Header{}) {
+		t.Fatal("zero difficulty must not validate")
+	}
+}
+
+func TestNextDifficultyRetargets(t *testing.T) {
+	e := New(consensus.Context{}, Options{
+		TargetInterval:    100 * time.Millisecond,
+		InitialDifficulty: 64_000,
+		MinDifficulty:     1_000,
+	})
+	// Fast parent (mined "now") → difficulty rises.
+	fast := &types.Block{Header: types.Header{
+		Difficulty: 64_000, Time: time.Now().UnixNano(),
+	}}
+	if d := e.nextDifficulty(fast); d <= 64_000 {
+		t.Fatalf("difficulty did not rise: %d", d)
+	}
+	// Slow parent (mined long ago) → difficulty falls.
+	slow := &types.Block{Header: types.Header{
+		Difficulty: 64_000, Time: time.Now().Add(-time.Second).UnixNano(),
+	}}
+	if d := e.nextDifficulty(slow); d >= 64_000 {
+		t.Fatalf("difficulty did not fall: %d", d)
+	}
+	// Floor respected.
+	atMin := &types.Block{Header: types.Header{
+		Difficulty: 1_000, Time: time.Now().Add(-time.Second).UnixNano(),
+	}}
+	if d := e.nextDifficulty(atMin); d < 1_000 {
+		t.Fatalf("difficulty under floor: %d", d)
+	}
+	// A preloaded parent (difficulty 1, below the floor) resets to the
+	// initial difficulty instead of producing a block storm.
+	preloaded := &types.Block{Header: types.Header{Difficulty: 1}}
+	if d := e.nextDifficulty(preloaded); d != 64_000 {
+		t.Fatalf("preloaded parent: difficulty = %d, want initial", d)
+	}
+}
+
+func TestSealFindsNonceQuickly(t *testing.T) {
+	// At low difficulty, sealing a block completes and the sealed header
+	// verifies.
+	h := types.Header{Number: 3, Difficulty: 256,
+		ParentHash: types.HashData([]byte("p"))}
+	for n := uint64(0); ; n++ {
+		h.PowNonce = n
+		if SealOK(&h) {
+			break
+		}
+		if n > 1_000_000 {
+			t.Fatal("no nonce within a million attempts at difficulty 256")
+		}
+	}
+	if !SealOK(&h) {
+		t.Fatal("sealed header did not verify")
+	}
+}

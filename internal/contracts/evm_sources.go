@@ -1,0 +1,1049 @@
+package contracts
+
+// EVM assembly sources for the contract suite. Memory layout conventions
+// used throughout: storage keys are built at mem[0..], values and records
+// at mem[100..], scratch registers at fixed slots ≥ 300, large data (the
+// CPUHeavy array) from mem[1000].
+//
+// Stack conventions (see internal/evm): operands are pushed
+// left-to-right; e.g. SSTORE consumes (keyOff, keyLen, valOff, valLen)
+// pushed in that order.
+
+// ycsbSrc is the key-value store contract behind the YCSB workload.
+// write(key, value) / read(key) / delete(key); read reverts on a miss.
+const ycsbSrc = `
+.func write
+  PUSH 0
+  PUSH 0
+  ARG              ; key -> mem[0], push len
+  PUSH 900
+  SWAP 1
+  MSTORE           ; mem[900] = keyLen
+  PUSH 1
+  PUSH 1000
+  ARG              ; value -> mem[1000], push len
+  PUSH 908
+  SWAP 1
+  MSTORE           ; mem[908] = valLen
+  PUSH 0
+  PUSH 900
+  MLOAD
+  PUSH 1000
+  PUSH 908
+  MLOAD
+  SSTORE
+  STOP
+
+.func read
+  PUSH 0
+  PUSH 0
+  ARG
+  PUSH 900
+  SWAP 1
+  MSTORE
+  PUSH 0
+  PUSH 900
+  MLOAD
+  PUSH 1000
+  SLOAD            ; pushes len, found
+  JUMPI @ycsb_hit
+  POP
+  PUSH 0
+  PUSH 0
+  REVERT
+ycsb_hit:
+  PUSH 1000
+  SWAP 1
+  RETURN
+
+.func delete
+  PUSH 0
+  PUSH 0
+  ARG
+  PUSH 900
+  SWAP 1
+  MSTORE
+  PUSH 0
+  PUSH 900
+  MLOAD
+  SDEL
+  STOP
+`
+
+// smallbankSrc implements the Smallbank OLTP procedures over two
+// per-account records: savings under key 's'||id and checking under
+// 'c'||id (ids are 8-byte integers).
+const smallbankSrc = `
+; --- helpers -------------------------------------------------------
+; sb_mkkey: stack (argIdx, prefixChar) -> (); builds key at mem[0:9]
+; sb_readbal: key at mem[0:9] -> pushes balance (0 if absent)
+; sb_writebal: stack (balance); key at mem[0:9] -> ()
+
+.func sendPayment        ; args: from, to, amount
+  PUSH 0
+  PUSH 'c'
+  CALLSUB @sb_mkkey
+  CALLSUB @sb_readbal    ; [fromBal]
+  PUSH 2
+  ARGW                   ; [fromBal, amt]
+  DUP 2
+  DUP 2
+  LT                     ; fromBal < amt ?
+  JUMPI @sb_insufficient
+  SUB                    ; fromBal - amt
+  CALLSUB @sb_writebal
+  PUSH 1
+  PUSH 'c'
+  CALLSUB @sb_mkkey
+  CALLSUB @sb_readbal
+  PUSH 2
+  ARGW
+  ADD
+  CALLSUB @sb_writebal
+  STOP
+sb_insufficient:
+  PUSH 0
+  PUSH 0
+  REVERT
+
+.func depositChecking    ; args: acct, amount
+  PUSH 0
+  PUSH 'c'
+  CALLSUB @sb_mkkey
+  CALLSUB @sb_readbal
+  PUSH 1
+  ARGW
+  ADD
+  CALLSUB @sb_writebal
+  STOP
+
+.func transactSavings    ; args: acct, amount
+  PUSH 0
+  PUSH 's'
+  CALLSUB @sb_mkkey
+  CALLSUB @sb_readbal
+  PUSH 1
+  ARGW
+  ADD
+  CALLSUB @sb_writebal
+  STOP
+
+.func writeCheck         ; args: acct, amount
+  PUSH 0
+  PUSH 'c'
+  CALLSUB @sb_mkkey
+  CALLSUB @sb_readbal    ; [bal]
+  PUSH 1
+  ARGW                   ; [bal, amt]
+  DUP 2
+  DUP 2
+  LT
+  JUMPI @sb_insufficient2
+  SUB
+  CALLSUB @sb_writebal
+  STOP
+sb_insufficient2:
+  PUSH 0
+  PUSH 0
+  REVERT
+
+.func amalgamate         ; args: src, dst — move all of src into dst checking
+  PUSH 0
+  PUSH 's'
+  CALLSUB @sb_mkkey
+  CALLSUB @sb_readbal    ; [sav]
+  PUSH 0
+  CALLSUB @sb_writebal   ; zero savings(src); leaves [sav]
+  PUSH 0
+  PUSH 'c'
+  CALLSUB @sb_mkkey
+  CALLSUB @sb_readbal    ; [sav, chk]
+  PUSH 0
+  CALLSUB @sb_writebal   ; zero checking(src); leaves [sav, chk]
+  ADD                    ; [total]
+  PUSH 1
+  PUSH 'c'
+  CALLSUB @sb_mkkey
+  CALLSUB @sb_readbal    ; [total, dstBal]
+  ADD
+  CALLSUB @sb_writebal
+  STOP
+
+.func getBalance         ; args: acct — returns savings+checking
+  PUSH 0
+  PUSH 's'
+  CALLSUB @sb_mkkey
+  CALLSUB @sb_readbal
+  PUSH 0
+  PUSH 'c'
+  CALLSUB @sb_mkkey
+  CALLSUB @sb_readbal
+  ADD
+  PUSH 200
+  SWAP 1
+  MSTORE
+  PUSH 200
+  PUSH 8
+  RETURN
+
+sb_mkkey:
+  PUSH 0
+  SWAP 1
+  MSTORE1          ; mem[0] = prefix; stack: [argIdx]
+  PUSH 1
+  ARG              ; id -> mem[1:9]
+  POP
+  RETSUB
+
+sb_readbal:
+  PUSH 0
+  PUSH 9
+  PUSH 100
+  SLOAD            ; [len, found]
+  JUMPI @sb_rb_hit
+  POP
+  PUSH 0
+  RETSUB
+sb_rb_hit:
+  POP
+  PUSH 100
+  MLOAD
+  RETSUB
+
+sb_writebal:       ; [balance]
+  PUSH 100
+  SWAP 1
+  MSTORE
+  PUSH 0
+  PUSH 9
+  PUSH 100
+  PUSH 8
+  SSTORE
+  RETSUB
+`
+
+// etherIdSrc is the domain-name registrar. Records live under 'd'||domain
+// and hold owner (20 bytes) || price (8 bytes). buy() pays the tx value
+// to the current owner through the contract account.
+const etherIdSrc = `
+.func register           ; args: domain(8), price(8)
+  CALLSUB @eid_loadrec   ; pushes found (record at mem[100:128] when found)
+  JUMPI @eid_taken
+  PUSH 100
+  CALLER
+  POP
+  PUSH 1
+  ARGW
+  PUSH 120
+  SWAP 1
+  MSTORE
+  CALLSUB @eid_store
+  STOP
+eid_taken:
+  PUSH 0
+  PUSH 0
+  REVERT
+
+.func transfer           ; args: domain(8), newOwner(20)
+  CALLSUB @eid_loadrec
+  ISZERO
+  JUMPI @eid_missing
+  PUSH 200
+  CALLER
+  POP
+  CALLSUB @eid_ownercheck
+  PUSH 1
+  PUSH 100
+  ARG                    ; new owner -> mem[100:120]
+  POP
+  CALLSUB @eid_store
+  STOP
+eid_missing:
+  PUSH 0
+  PUSH 0
+  REVERT
+
+.func buy                ; args: domain(8); tx value pays the owner
+  CALLSUB @eid_loadrec
+  ISZERO
+  JUMPI @eid_missing2
+  VALUE
+  PUSH 120
+  MLOAD
+  LT                     ; value < price ?
+  JUMPI @eid_cheap
+  PUSH 100               ; owner address offset
+  VALUE
+  TRANSFER
+  PUSH 100
+  CALLER
+  POP
+  CALLSUB @eid_store
+  STOP
+eid_missing2:
+  PUSH 0
+  PUSH 0
+  REVERT
+eid_cheap:
+  PUSH 0
+  PUSH 0
+  REVERT
+
+.func query              ; args: domain(8) — returns owner||price
+  CALLSUB @eid_loadrec
+  ISZERO
+  JUMPI @eid_missing3
+  PUSH 100
+  PUSH 28
+  RETURN
+eid_missing3:
+  PUSH 0
+  PUSH 0
+  REVERT
+
+eid_loadrec:             ; builds key at mem[0:9]; loads record to mem[100]
+  PUSH 0
+  PUSH 'd'
+  MSTORE1
+  PUSH 0
+  PUSH 1
+  ARG
+  POP
+  PUSH 0
+  PUSH 9
+  PUSH 100
+  SLOAD                  ; [len, found]
+  SWAP 1
+  POP                    ; drop len, keep found
+  RETSUB
+
+eid_store:               ; key at mem[0:9], record at mem[100:128]
+  PUSH 0
+  PUSH 9
+  PUSH 100
+  PUSH 28
+  SSTORE
+  RETSUB
+
+eid_ownercheck:          ; reverts unless mem[100:120] == mem[200:220]
+  PUSH 100
+  MLOAD
+  PUSH 200
+  MLOAD
+  XOR
+  PUSH 108
+  MLOAD
+  PUSH 208
+  MLOAD
+  XOR
+  OR
+  PUSH 112
+  MLOAD
+  PUSH 212
+  MLOAD
+  XOR
+  OR
+  ISZERO
+  JUMPI @eid_ownerok
+  PUSH 0
+  PUSH 0
+  REVERT
+eid_ownerok:
+  RETSUB
+`
+
+// doublerSrc is the pyramid scheme of the paper's Figure 2: participants
+// send value in; whenever the pot exceeds twice an early participant's
+// contribution, they are paid double and the payout index advances.
+const doublerSrc = `
+.func enter
+  ; record participant: caller(20) || value(8) under key 'p'||count
+  CALLSUB @dbl_loadn     ; [n]
+  PUSH 300
+  SWAP 1
+  MSTORE
+  PUSH 100
+  CALLER
+  POP
+  VALUE
+  PUSH 120
+  SWAP 1
+  MSTORE
+  PUSH 0
+  PUSH 'p'
+  MSTORE1
+  PUSH 300
+  MLOAD
+  PUSH 1
+  SWAP 1
+  MSTORE                 ; key = 'p' || n
+  PUSH 0
+  PUSH 9
+  PUSH 100
+  PUSH 28
+  SSTORE
+  PUSH 300
+  MLOAD
+  PUSH 1
+  ADD
+  CALLSUB @dbl_storen
+dbl_pay:
+  CALLSUB @dbl_loadi     ; [i]
+  DUP 1
+  PUSH 400
+  SWAP 1
+  MSTORE                 ; mem[400] = i; stack [i]
+  PUSH 0
+  PUSH 'p'
+  MSTORE1
+  PUSH 1
+  SWAP 1
+  MSTORE                 ; key = 'p' || i; stack []
+  PUSH 0
+  PUSH 9
+  PUSH 500
+  SLOAD                  ; [len, found]; record -> mem[500:528]
+  ISZERO
+  JUMPI @dbl_nomore
+  POP
+  SELFBAL
+  PUSH 520
+  MLOAD
+  PUSH 2
+  MUL
+  GT                     ; pot > 2*contribution ?
+  ISZERO
+  JUMPI @dbl_done
+  PUSH 500               ; participant address offset
+  PUSH 520
+  MLOAD
+  PUSH 2
+  MUL
+  TRANSFER
+  PUSH 400
+  MLOAD
+  PUSH 1
+  ADD
+  CALLSUB @dbl_storei
+  JUMP @dbl_pay
+dbl_nomore:
+  POP
+  STOP
+dbl_done:
+  STOP
+
+dbl_loadn:
+  PUSH 600
+  PUSH 'n'
+  MSTORE1
+  PUSH 600
+  PUSH 1
+  PUSH 608
+  SLOAD
+  JUMPI @dbl_ln_hit
+  POP
+  PUSH 0
+  RETSUB
+dbl_ln_hit:
+  POP
+  PUSH 608
+  MLOAD
+  RETSUB
+
+dbl_storen:              ; [n]
+  PUSH 608
+  SWAP 1
+  MSTORE
+  PUSH 600
+  PUSH 'n'
+  MSTORE1
+  PUSH 600
+  PUSH 1
+  PUSH 608
+  PUSH 8
+  SSTORE
+  RETSUB
+
+dbl_loadi:
+  PUSH 616
+  PUSH 'i'
+  MSTORE1
+  PUSH 616
+  PUSH 1
+  PUSH 624
+  SLOAD
+  JUMPI @dbl_li_hit
+  POP
+  PUSH 0
+  RETSUB
+dbl_li_hit:
+  POP
+  PUSH 624
+  MLOAD
+  RETSUB
+
+dbl_storei:              ; [i]
+  PUSH 624
+  SWAP 1
+  MSTORE
+  PUSH 616
+  PUSH 'i'
+  MSTORE1
+  PUSH 616
+  PUSH 1
+  PUSH 624
+  PUSH 8
+  SSTORE
+  RETSUB
+`
+
+// wavesSrc tracks a digital token crowd-sale: a running total and one
+// record per sale under 's'||id holding buyer (20) || tokens (8).
+const wavesSrc = `
+.func newSale            ; args: saleId(8), tokens(8)
+  CALLSUB @wp_loadsale   ; [found]
+  JUMPI @wp_exists
+  PUSH 100
+  CALLER
+  POP
+  PUSH 1
+  ARGW
+  PUSH 120
+  SWAP 1
+  MSTORE
+  CALLSUB @wp_storesale
+  ; total += tokens
+  CALLSUB @wp_loadtotal
+  PUSH 1
+  ARGW
+  ADD
+  CALLSUB @wp_storetotal
+  STOP
+wp_exists:
+  PUSH 0
+  PUSH 0
+  REVERT
+
+.func transferSale       ; args: saleId(8), newOwner(20)
+  CALLSUB @wp_loadsale
+  ISZERO
+  JUMPI @wp_missing
+  PUSH 200
+  CALLER
+  POP
+  CALLSUB @wp_ownercheck
+  PUSH 1
+  PUSH 100
+  ARG
+  POP
+  CALLSUB @wp_storesale
+  STOP
+wp_missing:
+  PUSH 0
+  PUSH 0
+  REVERT
+
+.func getSale            ; args: saleId(8) — returns buyer||tokens
+  CALLSUB @wp_loadsale
+  ISZERO
+  JUMPI @wp_missing2
+  PUSH 100
+  PUSH 28
+  RETURN
+wp_missing2:
+  PUSH 0
+  PUSH 0
+  REVERT
+
+.func total              ; returns tokens sold so far
+  CALLSUB @wp_loadtotal
+  PUSH 300
+  SWAP 1
+  MSTORE
+  PUSH 300
+  PUSH 8
+  RETURN
+
+wp_loadsale:             ; key 's'||id at mem[0:9]; record -> mem[100:128]
+  PUSH 0
+  PUSH 's'
+  MSTORE1
+  PUSH 0
+  PUSH 1
+  ARG
+  POP
+  PUSH 0
+  PUSH 9
+  PUSH 100
+  SLOAD
+  SWAP 1
+  POP
+  RETSUB
+
+wp_storesale:
+  PUSH 0
+  PUSH 9
+  PUSH 100
+  PUSH 28
+  SSTORE
+  RETSUB
+
+wp_loadtotal:
+  PUSH 600
+  PUSH 't'
+  MSTORE1
+  PUSH 600
+  PUSH 1
+  PUSH 608
+  SLOAD
+  JUMPI @wp_lt_hit
+  POP
+  PUSH 0
+  RETSUB
+wp_lt_hit:
+  POP
+  PUSH 608
+  MLOAD
+  RETSUB
+
+wp_storetotal:           ; [total]
+  PUSH 608
+  SWAP 1
+  MSTORE
+  PUSH 600
+  PUSH 't'
+  MSTORE1
+  PUSH 600
+  PUSH 1
+  PUSH 608
+  PUSH 8
+  SSTORE
+  RETSUB
+
+wp_ownercheck:           ; reverts unless mem[100:120] == mem[200:220]
+  PUSH 100
+  MLOAD
+  PUSH 200
+  MLOAD
+  XOR
+  PUSH 108
+  MLOAD
+  PUSH 208
+  MLOAD
+  XOR
+  OR
+  PUSH 112
+  MLOAD
+  PUSH 212
+  MLOAD
+  XOR
+  OR
+  ISZERO
+  JUMPI @wp_ownerok
+  PUSH 0
+  PUSH 0
+  REVERT
+wp_ownerok:
+  RETSUB
+`
+
+// ioHeavySrc performs n random-looking writes or reads per invocation:
+// 20-byte keys derived from a counter, 100-byte values. This is the
+// data-model stress contract.
+const ioHeavySrc = `
+.func write              ; args: n, seed
+  PUSH 0
+  ARGW
+  PUSH 300
+  SWAP 1
+  MSTORE                 ; mem[300] = n
+  PUSH 1
+  ARGW
+  PUSH 308
+  SWAP 1
+  MSTORE                 ; mem[308] = seed
+  PUSH 316
+  PUSH 0
+  MSTORE                 ; j = 0
+iow_loop:
+  PUSH 316
+  MLOAD
+  PUSH 300
+  MLOAD
+  LT
+  ISZERO
+  JUMPI @iow_done
+  PUSH 308
+  MLOAD
+  PUSH 316
+  MLOAD
+  ADD                    ; k = seed + j
+  DUP 1
+  PUSH 0
+  SWAP 1
+  MSTORE                 ; key[0:8] = k
+  PUSH 2654435761
+  MUL
+  DUP 1
+  PUSH 8
+  SWAP 1
+  MSTORE                 ; key[8:16] = k * prime
+  PUSH 12
+  SWAP 1
+  MSTORE                 ; key[12:20] = k * prime (overlap)
+  PUSH 316
+  MLOAD
+  PUSH 100
+  SWAP 1
+  MSTORE                 ; value[0:8] = j (rest of the 100 bytes zero)
+  PUSH 0
+  PUSH 20
+  PUSH 100
+  PUSH 100
+  SSTORE
+  PUSH 316
+  MLOAD
+  PUSH 1
+  ADD
+  PUSH 316
+  SWAP 1
+  MSTORE
+  JUMP @iow_loop
+iow_done:
+  STOP
+
+.func read               ; args: n, seed
+  PUSH 0
+  ARGW
+  PUSH 300
+  SWAP 1
+  MSTORE
+  PUSH 1
+  ARGW
+  PUSH 308
+  SWAP 1
+  MSTORE
+  PUSH 316
+  PUSH 0
+  MSTORE
+ior_loop:
+  PUSH 316
+  MLOAD
+  PUSH 300
+  MLOAD
+  LT
+  ISZERO
+  JUMPI @ior_done
+  PUSH 308
+  MLOAD
+  PUSH 316
+  MLOAD
+  ADD
+  DUP 1
+  PUSH 0
+  SWAP 1
+  MSTORE
+  PUSH 2654435761
+  MUL
+  DUP 1
+  PUSH 8
+  SWAP 1
+  MSTORE
+  PUSH 12
+  SWAP 1
+  MSTORE
+  PUSH 0
+  PUSH 20
+  PUSH 100
+  SLOAD                  ; [len, found]
+  POP
+  POP
+  PUSH 316
+  MLOAD
+  PUSH 1
+  ADD
+  PUSH 316
+  SWAP 1
+  MSTORE
+  JUMP @ior_loop
+ior_done:
+  STOP
+`
+
+// cpuHeavySrc initializes an array of n descending 64-bit integers at
+// mem[1000:] and sorts it with an iterative Hoare quicksort whose
+// segment stack lives just past the array. Scratch registers:
+// n@400, lo@416, hi@424, i@432, j@440, pivot@448, sp@456, out@472.
+const cpuHeavySrc = `
+.func sort               ; args: n — returns a[0] after sorting (must be 1)
+  PUSH 0
+  ARGW
+  PUSH 400
+  SWAP 1
+  MSTORE                 ; n
+  PUSH 432
+  PUSH 0
+  MSTORE                 ; i = 0
+cpu_init:
+  PUSH 432
+  MLOAD
+  PUSH 400
+  MLOAD
+  LT
+  ISZERO
+  JUMPI @cpu_init_done
+  PUSH 432
+  MLOAD
+  PUSH 400
+  MLOAD
+  PUSH 432
+  MLOAD
+  SUB                    ; a[i] = n - i (descending)
+  CALLSUB @cpu_astore
+  PUSH 432
+  MLOAD
+  PUSH 1
+  ADD
+  PUSH 432
+  SWAP 1
+  MSTORE
+  JUMP @cpu_init
+cpu_init_done:
+  PUSH 400
+  MLOAD
+  PUSH 8
+  MUL
+  PUSH 1000
+  ADD
+  PUSH 456
+  SWAP 1
+  MSTORE                 ; sp = segment-stack base = 1000 + 8n
+  PUSH 0
+  PUSH 400
+  MLOAD
+  PUSH 1
+  SUB
+  CALLSUB @cpu_qpush     ; push (0, n-1)
+cpu_main:
+  PUSH 456
+  MLOAD
+  PUSH 400
+  MLOAD
+  PUSH 8
+  MUL
+  PUSH 1000
+  ADD
+  GT                     ; sp > base ?
+  ISZERO
+  JUMPI @cpu_sorted
+  CALLSUB @cpu_qpop      ; [lo, hi]
+  PUSH 424
+  SWAP 1
+  MSTORE                 ; hi
+  PUSH 416
+  SWAP 1
+  MSTORE                 ; lo
+  PUSH 416
+  MLOAD
+  PUSH 424
+  MLOAD
+  SLT                    ; lo < hi ?
+  ISZERO
+  JUMPI @cpu_main
+  PUSH 416
+  MLOAD
+  PUSH 424
+  MLOAD
+  ADD
+  PUSH 2
+  DIV
+  CALLSUB @cpu_aload
+  PUSH 448
+  SWAP 1
+  MSTORE                 ; pivot = a[(lo+hi)/2]
+  PUSH 416
+  MLOAD
+  PUSH 432
+  SWAP 1
+  MSTORE                 ; i = lo
+  PUSH 424
+  MLOAD
+  PUSH 440
+  SWAP 1
+  MSTORE                 ; j = hi
+cpu_part:
+  PUSH 432
+  MLOAD
+  PUSH 440
+  MLOAD
+  SGT                    ; i > j ?
+  JUMPI @cpu_after
+cpu_advi:
+  PUSH 432
+  MLOAD
+  CALLSUB @cpu_aload
+  PUSH 448
+  MLOAD
+  LT                     ; a[i] < pivot ?
+  ISZERO
+  JUMPI @cpu_advj
+  PUSH 432
+  MLOAD
+  PUSH 1
+  ADD
+  PUSH 432
+  SWAP 1
+  MSTORE
+  JUMP @cpu_advi
+cpu_advj:
+  PUSH 440
+  MLOAD
+  CALLSUB @cpu_aload
+  PUSH 448
+  MLOAD
+  GT                     ; a[j] > pivot ?
+  ISZERO
+  JUMPI @cpu_swap
+  PUSH 440
+  MLOAD
+  PUSH 1
+  SUB
+  PUSH 440
+  SWAP 1
+  MSTORE
+  JUMP @cpu_advj
+cpu_swap:
+  PUSH 432
+  MLOAD
+  PUSH 440
+  MLOAD
+  SGT                    ; i > j ?
+  JUMPI @cpu_after
+  PUSH 432
+  MLOAD
+  CALLSUB @cpu_aload     ; [a_i]
+  PUSH 440
+  MLOAD
+  CALLSUB @cpu_aload     ; [a_i, a_j]
+  PUSH 432
+  MLOAD
+  SWAP 1                 ; [a_i, i, a_j]
+  CALLSUB @cpu_astore    ; a[i] = a_j; [a_i]
+  PUSH 440
+  MLOAD
+  SWAP 1                 ; [j, a_i]
+  CALLSUB @cpu_astore    ; a[j] = a_i
+  PUSH 432
+  MLOAD
+  PUSH 1
+  ADD
+  PUSH 432
+  SWAP 1
+  MSTORE                 ; i++
+  PUSH 440
+  MLOAD
+  PUSH 1
+  SUB
+  PUSH 440
+  SWAP 1
+  MSTORE                 ; j--
+  JUMP @cpu_part
+cpu_after:
+  PUSH 416
+  MLOAD
+  PUSH 440
+  MLOAD
+  SLT                    ; lo < j ?
+  ISZERO
+  JUMPI @cpu_right
+  PUSH 416
+  MLOAD
+  PUSH 440
+  MLOAD
+  CALLSUB @cpu_qpush
+cpu_right:
+  PUSH 432
+  MLOAD
+  PUSH 424
+  MLOAD
+  SLT                    ; i < hi ?
+  ISZERO
+  JUMPI @cpu_main
+  PUSH 432
+  MLOAD
+  PUSH 424
+  MLOAD
+  CALLSUB @cpu_qpush
+  JUMP @cpu_main
+cpu_sorted:
+  PUSH 0
+  CALLSUB @cpu_aload
+  PUSH 472
+  SWAP 1
+  MSTORE
+  PUSH 472
+  PUSH 8
+  RETURN
+
+cpu_aload:               ; [idx] -> [a[idx]]
+  PUSH 8
+  MUL
+  PUSH 1000
+  ADD
+  MLOAD
+  RETSUB
+
+cpu_astore:              ; [idx, val] -> []
+  SWAP 1
+  PUSH 8
+  MUL
+  PUSH 1000
+  ADD
+  SWAP 1
+  MSTORE
+  RETSUB
+
+cpu_qpush:               ; [lo, hi] -> []; segment stack push
+  PUSH 456
+  MLOAD
+  PUSH 8
+  ADD
+  SWAP 1
+  MSTORE                 ; mem[sp+8] = hi
+  PUSH 456
+  MLOAD
+  SWAP 1
+  MSTORE                 ; mem[sp] = lo
+  PUSH 456
+  MLOAD
+  PUSH 16
+  ADD
+  PUSH 456
+  SWAP 1
+  MSTORE                 ; sp += 16
+  RETSUB
+
+cpu_qpop:                ; [] -> [lo, hi]; segment stack pop
+  PUSH 456
+  MLOAD
+  PUSH 16
+  SUB
+  DUP 1
+  PUSH 456
+  SWAP 1
+  MSTORE                 ; sp -= 16
+  DUP 1
+  MLOAD                  ; [sp, lo]
+  SWAP 1
+  PUSH 8
+  ADD
+  MLOAD                  ; [lo, hi]
+  RETSUB
+`
+
+// doNothingSrc accepts a transaction and returns immediately: the
+// consensus-layer isolation contract.
+const doNothingSrc = `
+.func invoke
+  STOP
+`

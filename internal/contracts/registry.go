@@ -1,0 +1,85 @@
+// Package contracts implements the paper's Table 1 smart-contract suite.
+// Each contract exists in two forms, exactly as in BLOCKBENCH: an EVM
+// version (authored in the repository's assembly language, standing in
+// for Solidity) executed by Ethereum and Parity presets, and a native Go
+// chaincode executed by the Hyperledger preset.
+//
+//	YCSB           key-value store            (macro)
+//	Smallbank      OLTP bank accounts         (macro)
+//	EtherId        domain-name registrar      (macro, real contract)
+//	Doubler        pyramid/Ponzi scheme       (macro, real contract)
+//	WavesPresale   crowd-sale token tracker   (macro, real contract)
+//	VersionKVStore versioned KV for analytics (Hyperledger only)
+//	IOHeavy        bulk random reads/writes   (micro: data model)
+//	CPUHeavy       quicksort on a big array   (micro: execution layer)
+//	DoNothing      empty contract             (micro: consensus layer)
+package contracts
+
+import (
+	"fmt"
+	"sort"
+
+	"blockbench/internal/chaincode"
+	"blockbench/internal/evm"
+	"blockbench/internal/evm/asm"
+)
+
+// Spec bundles both implementations of one contract.
+type Spec struct {
+	Name        string
+	Description string
+	// EVM is the bytecode version (nil when the contract exists only as
+	// chaincode, like VersionKVStore).
+	EVM *evm.Program
+	// Chaincode is the native Go version (Hyperledger).
+	Chaincode chaincode.Chaincode
+}
+
+var registry = map[string]Spec{}
+
+func register(s Spec) {
+	if _, dup := registry[s.Name]; dup {
+		panic("contracts: duplicate " + s.Name)
+	}
+	registry[s.Name] = s
+}
+
+func init() {
+	register(Spec{Name: "ycsb", Description: "key-value store (YCSB)",
+		EVM: asm.MustAssemble(ycsbSrc), Chaincode: YCSB{}})
+	register(Spec{Name: "smallbank", Description: "OLTP bank accounts (Smallbank)",
+		EVM: asm.MustAssemble(smallbankSrc), Chaincode: Smallbank{}})
+	register(Spec{Name: "etherid", Description: "domain name registrar",
+		EVM: asm.MustAssemble(etherIdSrc), Chaincode: EtherId{}})
+	register(Spec{Name: "doubler", Description: "pyramid scheme",
+		EVM: asm.MustAssemble(doublerSrc), Chaincode: Doubler{}})
+	register(Spec{Name: "wavespresale", Description: "crowd sale",
+		EVM: asm.MustAssemble(wavesSrc), Chaincode: WavesPresale{}})
+	register(Spec{Name: "versionkv", Description: "versioned KV store (Hyperledger only)",
+		Chaincode: VersionKV{}})
+	register(Spec{Name: "ioheavy", Description: "bulk random I/O",
+		EVM: asm.MustAssemble(ioHeavySrc), Chaincode: IOHeavy{}})
+	register(Spec{Name: "cpuheavy", Description: "quicksort a large array",
+		EVM: asm.MustAssemble(cpuHeavySrc), Chaincode: CPUHeavy{}})
+	register(Spec{Name: "donothing", Description: "empty contract",
+		EVM: asm.MustAssemble(doNothingSrc), Chaincode: DoNothing{}})
+}
+
+// Lookup returns the spec for name.
+func Lookup(name string) (Spec, error) {
+	s, ok := registry[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("contracts: unknown contract %q", name)
+	}
+	return s, nil
+}
+
+// All returns every spec sorted by name.
+func All() []Spec {
+	out := make([]Spec, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

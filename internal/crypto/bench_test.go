@@ -1,0 +1,42 @@
+package crypto
+
+import (
+	"testing"
+
+	"blockbench/internal/types"
+)
+
+// Transaction signing and verification costs drive two of the paper's
+// findings: Parity's server-side signing bottleneck and the per-node
+// verification load at high rates.
+
+func BenchmarkSignTx(b *testing.B) {
+	k := DeterministicKey(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := &types.Transaction{Nonce: uint64(i), Contract: "ycsb",
+			Method: "write", GasLimit: 100_000}
+		if err := SignTx(tx, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyTx(b *testing.B) {
+	k := DeterministicKey(1)
+	reg := NewRegistry()
+	reg.Add(k)
+	txs := make([]*types.Transaction, 256)
+	for i := range txs {
+		txs[i] = &types.Transaction{Nonce: uint64(i), GasLimit: 1}
+		if err := SignTx(txs[i], k); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !reg.VerifyTx(txs[i%len(txs)]) {
+			b.Fatal("verification failed")
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package crypto provides the signature scheme used by clients and nodes:
+// ECDSA over P-256 with SHA-256 digests, plus address derivation. Real
+// asymmetric signing is used (not a stub) because transaction signing cost
+// is one of the bottlenecks the paper identifies (Parity signs transactions
+// server-side on its ingestion path).
+package crypto
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math/big"
+	"sync"
+
+	"blockbench/internal/types"
+)
+
+// Key is a signing keypair bound to a derived address.
+type Key struct {
+	priv *ecdsa.PrivateKey
+	addr types.Address
+}
+
+// GenerateKey creates a fresh random keypair.
+func GenerateKey() (*Key, error) {
+	priv, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("crypto: generate key: %w", err)
+	}
+	return &Key{priv: priv, addr: pubAddress(&priv.PublicKey)}, nil
+}
+
+// DeterministicKey derives a keypair from a seed. It is used to give every
+// simulated node and client a stable identity across runs without storing
+// key material. Not for production use.
+func DeterministicKey(seed uint64) *Key {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], seed)
+	digest := sha256.Sum256(buf[:])
+	d := new(big.Int).SetBytes(digest[:])
+	curve := elliptic.P256()
+	d.Mod(d, new(big.Int).Sub(curve.Params().N, big.NewInt(1)))
+	d.Add(d, big.NewInt(1))
+	priv := &ecdsa.PrivateKey{D: d}
+	priv.Curve = curve
+	priv.X, priv.Y = curve.ScalarBaseMult(d.Bytes())
+	return &Key{priv: priv, addr: pubAddress(&priv.PublicKey)}
+}
+
+func pubAddress(pub *ecdsa.PublicKey) types.Address {
+	raw := elliptic.Marshal(pub.Curve, pub.X, pub.Y)
+	h := sha256.Sum256(raw)
+	return types.BytesToAddress(h[12:])
+}
+
+// Address returns the address derived from the public key.
+func (k *Key) Address() types.Address { return k.addr }
+
+// Sign produces an ASN.1 ECDSA signature over h.
+func (k *Key) Sign(h types.Hash) ([]byte, error) {
+	sig, err := ecdsa.SignASN1(rand.Reader, k.priv, h[:])
+	if err != nil {
+		return nil, fmt.Errorf("crypto: sign: %w", err)
+	}
+	return sig, nil
+}
+
+// PublicKey exposes the verifying half of the keypair.
+func (k *Key) PublicKey() *ecdsa.PublicKey { return &k.priv.PublicKey }
+
+// Verify checks sig over h against pub.
+func Verify(pub *ecdsa.PublicKey, h types.Hash, sig []byte) bool {
+	return ecdsa.VerifyASN1(pub, h[:], sig)
+}
+
+// SignTx signs tx in place with k and stamps the sender address.
+func SignTx(tx *types.Transaction, k *Key) error {
+	tx.From = k.addr
+	sig, err := k.Sign(tx.Hash())
+	if err != nil {
+		return err
+	}
+	tx.Sig = sig
+	return nil
+}
+
+// Registry maps addresses to public keys. Private deployments authenticate
+// every participant up front, so nodes share a static registry rather than
+// recovering keys from signatures. Verification results are cached per
+// transaction hash, so a node that validated a transaction at ingress
+// does not pay again at block execution (registries are per-node, so each
+// node still pays exactly once, as in the real systems).
+type Registry struct {
+	keys map[types.Address]*ecdsa.PublicKey
+
+	mu       sync.Mutex
+	verified map[types.Hash]bool
+}
+
+// NewRegistry returns an empty key registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		keys:     make(map[types.Address]*ecdsa.PublicKey),
+		verified: make(map[types.Hash]bool),
+	}
+}
+
+// Add registers the public half of k.
+func (r *Registry) Add(k *Key) { r.keys[k.addr] = &k.priv.PublicKey }
+
+// VerifyTx checks the transaction signature against the registered key of
+// tx.From. Unknown senders and corrupted transactions fail verification.
+func (r *Registry) VerifyTx(tx *types.Transaction) bool {
+	if tx.Corrupt || len(tx.Sig) == 0 {
+		return false
+	}
+	h := tx.Hash()
+	r.mu.Lock()
+	if ok, seen := r.verified[h]; seen {
+		r.mu.Unlock()
+		return ok
+	}
+	r.mu.Unlock()
+
+	pub, known := r.keys[tx.From]
+	ok := known && Verify(pub, h, tx.Sig)
+
+	r.mu.Lock()
+	if len(r.verified) > 1<<20 { // bound memory on long runs
+		r.verified = make(map[types.Hash]bool)
+	}
+	r.verified[h] = ok
+	r.mu.Unlock()
+	return ok
+}

@@ -1,0 +1,90 @@
+package crypto
+
+import (
+	"testing"
+
+	"blockbench/internal/types"
+)
+
+func TestGenerateAndSign(t *testing.T) {
+	k, err := GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := types.HashData([]byte("message"))
+	sig, err := k.Sign(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(k.PublicKey(), h, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	h2 := types.HashData([]byte("other"))
+	if Verify(k.PublicKey(), h2, sig) {
+		t.Fatal("signature valid for wrong message")
+	}
+}
+
+func TestDeterministicKeyStable(t *testing.T) {
+	a, b := DeterministicKey(7), DeterministicKey(7)
+	if a.Address() != b.Address() {
+		t.Fatal("same seed produced different addresses")
+	}
+	c := DeterministicKey(8)
+	if c.Address() == a.Address() {
+		t.Fatal("different seeds collided")
+	}
+	// Cross-key verification must fail.
+	h := types.HashData([]byte("m"))
+	sig, _ := a.Sign(h)
+	if Verify(c.PublicKey(), h, sig) {
+		t.Fatal("signature verified under wrong key")
+	}
+}
+
+func TestRegistryVerifyTx(t *testing.T) {
+	k := DeterministicKey(1)
+	reg := NewRegistry()
+	reg.Add(k)
+
+	tx := &types.Transaction{Nonce: 1, Contract: "c", Method: "m", GasLimit: 1000}
+	if reg.VerifyTx(tx) {
+		t.Fatal("unsigned tx verified")
+	}
+	if err := SignTx(tx, k); err != nil {
+		t.Fatal(err)
+	}
+	if tx.From != k.Address() {
+		t.Fatal("SignTx did not stamp sender")
+	}
+	if !reg.VerifyTx(tx) {
+		t.Fatal("signed tx rejected")
+	}
+
+	// Corrupted-in-flight transactions fail verification.
+	tx.Corrupt = true
+	if reg.VerifyTx(tx) {
+		t.Fatal("corrupt tx verified")
+	}
+	tx.Corrupt = false
+
+	// Unknown sender.
+	other := DeterministicKey(2)
+	tx2 := &types.Transaction{Nonce: 2, GasLimit: 1}
+	if err := SignTx(tx2, other); err != nil {
+		t.Fatal(err)
+	}
+	if reg.VerifyTx(tx2) {
+		t.Fatal("unknown sender verified")
+	}
+
+	// Tampered signature.
+	tx3 := &types.Transaction{Nonce: 3, GasLimit: 1}
+	if err := SignTx(tx3, k); err != nil {
+		t.Fatal(err)
+	}
+	tx3.Sig[4] ^= 0xff
+	if reg.VerifyTx(tx3) {
+		t.Fatal("tampered signature verified")
+	}
+}

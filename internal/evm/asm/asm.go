@@ -1,0 +1,239 @@
+// Package asm is the two-pass assembler used to author the Solidity-
+// equivalent benchmark contracts for the EVM in this repository (each
+// contract in the paper's Table 1 has "one Solidity version for Parity
+// and Ethereum" — here, one assembly version — "and one Golang version
+// for Hyperledger").
+//
+// Syntax, one statement per line:
+//
+//	; comment (also after statements)
+//	.func name        ; declares a method entry point at this offset
+//	label:            ; jump target
+//	PUSH 42           ; decimal, 0x2a hex, 'c' char or @label immediates
+//	JUMP @loop        ; control flow takes label immediates
+//	DUP 2             ; stack index immediates
+//
+// The assembler resolves labels in a second pass, so forward references
+// are fine. Labels are file-global; by convention contracts prefix them
+// with the function name.
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"blockbench/internal/evm"
+)
+
+type immKind int
+
+const (
+	immNone immKind = iota
+	immU64          // 8-byte value immediate
+	immU32          // 4-byte code offset (labels allowed)
+	immU8           // 1-byte stack index
+)
+
+// mnemonics maps textual opcodes to (byte, immediate kind).
+var mnemonics = map[string]struct {
+	op  byte
+	imm immKind
+}{
+	"STOP":     {0x00, immNone},
+	"ADD":      {0x01, immNone},
+	"SUB":      {0x02, immNone},
+	"MUL":      {0x03, immNone},
+	"DIV":      {0x04, immNone},
+	"MOD":      {0x05, immNone},
+	"LT":       {0x06, immNone},
+	"GT":       {0x07, immNone},
+	"EQ":       {0x08, immNone},
+	"ISZERO":   {0x09, immNone},
+	"AND":      {0x0a, immNone},
+	"OR":       {0x0b, immNone},
+	"XOR":      {0x0c, immNone},
+	"NOT":      {0x0d, immNone},
+	"SHL":      {0x0e, immNone},
+	"SHR":      {0x0f, immNone},
+	"SLT":      {0x14, immNone},
+	"SGT":      {0x15, immNone},
+	"PUSH":     {0x10, immU64},
+	"POP":      {0x11, immNone},
+	"DUP":      {0x12, immU8},
+	"SWAP":     {0x13, immU8},
+	"JUMP":     {0x20, immU32},
+	"JUMPI":    {0x21, immU32},
+	"CALLSUB":  {0x22, immU32},
+	"RETSUB":   {0x23, immNone},
+	"MLOAD":    {0x30, immNone},
+	"MSTORE":   {0x31, immNone},
+	"MLOAD1":   {0x32, immNone},
+	"MSTORE1":  {0x33, immNone},
+	"MSIZE":    {0x34, immNone},
+	"SLOAD":    {0x40, immNone},
+	"SSTORE":   {0x41, immNone},
+	"SDEL":     {0x42, immNone},
+	"ARGN":     {0x50, immNone},
+	"ARG":      {0x51, immNone},
+	"ARGW":     {0x52, immNone},
+	"CALLER":   {0x53, immNone},
+	"VALUE":    {0x54, immNone},
+	"SELFBAL":  {0x55, immNone},
+	"BALANCE":  {0x56, immNone},
+	"TRANSFER": {0x57, immNone},
+	"RETURN":   {0x60, immNone},
+	"REVERT":   {0x61, immNone},
+	"SHA3":     {0x62, immNone},
+	"GASLEFT":  {0x63, immNone},
+}
+
+type fixup struct {
+	offset int    // position of the u32 to patch
+	label  string // target label
+	line   int
+}
+
+// Assemble compiles source text to a Program.
+func Assemble(src string) (*evm.Program, error) {
+	var (
+		code   []byte
+		labels = make(map[string]int)
+		funcs  = make(map[string]uint32)
+		fixups []fixup
+	)
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		n := lineNo + 1
+
+		switch {
+		case strings.HasPrefix(line, ".func "):
+			name := strings.TrimSpace(strings.TrimPrefix(line, ".func "))
+			if name == "" {
+				return nil, fmt.Errorf("asm: line %d: .func needs a name", n)
+			}
+			if _, dup := funcs[name]; dup {
+				return nil, fmt.Errorf("asm: line %d: duplicate function %q", n, name)
+			}
+			funcs[name] = uint32(len(code))
+			continue
+
+		case strings.HasSuffix(line, ":"):
+			name := strings.TrimSuffix(line, ":")
+			if name == "" || strings.ContainsAny(name, " \t") {
+				return nil, fmt.Errorf("asm: line %d: bad label %q", n, name)
+			}
+			if _, dup := labels[name]; dup {
+				return nil, fmt.Errorf("asm: line %d: duplicate label %q", n, name)
+			}
+			labels[name] = len(code)
+			continue
+		}
+
+		fields := strings.Fields(line)
+		mn, ok := mnemonics[strings.ToUpper(fields[0])]
+		if !ok {
+			return nil, fmt.Errorf("asm: line %d: unknown mnemonic %q", n, fields[0])
+		}
+		code = append(code, mn.op)
+		switch mn.imm {
+		case immNone:
+			if len(fields) != 1 {
+				return nil, fmt.Errorf("asm: line %d: %s takes no operand", n, fields[0])
+			}
+		case immU64:
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("asm: line %d: %s needs one operand", n, fields[0])
+			}
+			if strings.HasPrefix(fields[1], "@") {
+				fixups = append(fixups, fixup{offset: len(code), label: fields[1][1:], line: n})
+				code = append(code, make([]byte, 8)...)
+				// Mark as 64-bit fixup by storing width in the patch list:
+				// handled below by checking instruction width at offset-1.
+			} else {
+				v, err := parseImm(fields[1])
+				if err != nil {
+					return nil, fmt.Errorf("asm: line %d: %v", n, err)
+				}
+				code = binary.LittleEndian.AppendUint64(code, v)
+			}
+		case immU32:
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("asm: line %d: %s needs one operand", n, fields[0])
+			}
+			if strings.HasPrefix(fields[1], "@") {
+				fixups = append(fixups, fixup{offset: len(code), label: fields[1][1:], line: n})
+				code = append(code, make([]byte, 4)...)
+			} else {
+				v, err := parseImm(fields[1])
+				if err != nil {
+					return nil, fmt.Errorf("asm: line %d: %v", n, err)
+				}
+				code = binary.LittleEndian.AppendUint32(code, uint32(v))
+			}
+		case immU8:
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("asm: line %d: %s needs one operand", n, fields[0])
+			}
+			v, err := parseImm(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("asm: line %d: %v", n, err)
+			}
+			if v > 255 {
+				return nil, fmt.Errorf("asm: line %d: operand %d out of byte range", n, v)
+			}
+			code = append(code, byte(v))
+		}
+	}
+
+	for _, f := range fixups {
+		target, ok := labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("asm: line %d: undefined label %q", f.line, f.label)
+		}
+		// PUSH has an 8-byte slot, control flow a 4-byte slot.
+		if code[f.offset-1] == 0x10 {
+			binary.LittleEndian.PutUint64(code[f.offset:], uint64(target))
+		} else {
+			binary.LittleEndian.PutUint32(code[f.offset:], uint32(target))
+		}
+	}
+
+	if len(funcs) == 0 {
+		return nil, fmt.Errorf("asm: no .func declarations")
+	}
+	return &evm.Program{Code: code, Funcs: funcs}, nil
+}
+
+// MustAssemble is Assemble for package-level contract constants; it
+// panics on error, which is a programming bug caught at init time by any
+// test touching the contract suite.
+func MustAssemble(src string) *evm.Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func parseImm(s string) (uint64, error) {
+	if len(s) >= 3 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		if len(s) != 3 {
+			return 0, fmt.Errorf("bad char immediate %q", s)
+		}
+		return uint64(s[1]), nil
+	}
+	v, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return v, nil
+}

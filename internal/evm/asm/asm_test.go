@@ -1,0 +1,86 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestForwardAndBackwardLabels(t *testing.T) {
+	prog, err := Assemble(`
+.func f
+  JUMP @end        ; forward reference
+back:
+  STOP
+end:
+  JUMP @back       ; backward reference
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Code) == 0 {
+		t.Fatal("no code")
+	}
+}
+
+func TestFunctionOffsets(t *testing.T) {
+	prog, err := Assemble(`
+.func a
+  STOP
+.func b
+  PUSH 1
+  POP
+  STOP
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Funcs["a"] != 0 {
+		t.Fatalf("a at %d", prog.Funcs["a"])
+	}
+	if prog.Funcs["b"] != 1 { // after a's STOP byte
+		t.Fatalf("b at %d", prog.Funcs["b"])
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	if _, err := Assemble("; leading comment\n\n.func f\n  STOP ; trailing\n\n"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImmediateWidthValidation(t *testing.T) {
+	if _, err := Assemble(".func f\n DUP 300\n"); err == nil {
+		t.Fatal("byte-operand overflow accepted")
+	}
+	if _, err := Assemble(".func f\n PUSH 18446744073709551615\n STOP\n"); err != nil {
+		t.Fatalf("max u64 rejected: %v", err)
+	}
+	if _, err := Assemble(".func f\n PUSH zzz\n"); err == nil {
+		t.Fatal("garbage immediate accepted")
+	}
+	if _, err := Assemble(".func f\n PUSH 'ab'\n"); err == nil {
+		t.Fatal("multi-char immediate accepted")
+	}
+}
+
+func TestMustAssemblePanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MustAssemble("BOGUS")
+}
+
+func TestErrorsCarryLineNumbers(t *testing.T) {
+	_, err := Assemble(".func f\n STOP\n FROB\n")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error lacks line number: %v", err)
+	}
+}
+
+func TestCaseInsensitiveMnemonics(t *testing.T) {
+	if _, err := Assemble(".func f\n push 1\n pop\n stop\n"); err != nil {
+		t.Fatalf("lowercase mnemonics rejected: %v", err)
+	}
+}

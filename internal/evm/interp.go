@@ -1,0 +1,520 @@
+package evm
+
+import (
+	"encoding/binary"
+
+	"blockbench/internal/types"
+)
+
+// Gas schedule. Storage is the dominant cost, as in the real EVM; the
+// absolute values are simplified but preserve the ordering the paper's
+// workloads depend on (I/O ≫ compute ≫ stack traffic).
+const (
+	gasBase     = 1   // stack, arithmetic, logic
+	gasJump     = 2   // control flow
+	gasMem      = 3   // memory load/store
+	gasMemWord  = 1   // per 32-byte word of memory growth
+	gasSloadOp  = 50  // storage read, plus gasPerByte per value byte
+	gasSstoreOp = 200 // storage write, plus gasPerByte per key+value byte
+	gasSdelOp   = 100
+	gasPerByte  = 2
+	gasTransfer = 400
+	gasSha3     = 30
+	gasArg      = 3
+)
+
+// TxIntrinsicGas is charged for every transaction before execution, as in
+// Ethereum (21000).
+const TxIntrinsicGas = 21000
+
+// run is the interpreter loop. It returns the RETURN payload, or an error
+// for traps and reverts (revert payload returned alongside ErrRevert).
+func (m *vm) run() ([]byte, error) {
+	for {
+		if m.pc >= len(m.code) {
+			return nil, nil // falling off the end behaves like STOP
+		}
+		op := m.code[m.pc]
+		m.pc++
+		m.steps++
+
+		switch op {
+		case opSTOP:
+			return nil, nil
+
+		case opADD, opSUB, opMUL, opDIV, opMOD, opLT, opGT, opEQ,
+			opAND, opOR, opXOR, opSHL, opSHR, opSLT, opSGT:
+			if err := m.charge(gasBase); err != nil {
+				return nil, err
+			}
+			a, b, err := m.pop2()
+			if err != nil {
+				return nil, err
+			}
+			var v uint64
+			switch op {
+			case opADD:
+				v = a + b
+			case opSUB:
+				v = a - b
+			case opMUL:
+				v = a * b
+			case opDIV:
+				if b == 0 {
+					return nil, ErrDivByZero
+				}
+				v = a / b
+			case opMOD:
+				if b == 0 {
+					return nil, ErrDivByZero
+				}
+				v = a % b
+			case opLT:
+				v = boolWord(a < b)
+			case opGT:
+				v = boolWord(a > b)
+			case opEQ:
+				v = boolWord(a == b)
+			case opSLT:
+				v = boolWord(int64(a) < int64(b))
+			case opSGT:
+				v = boolWord(int64(a) > int64(b))
+			case opAND:
+				v = a & b
+			case opOR:
+				v = a | b
+			case opXOR:
+				v = a ^ b
+			case opSHL:
+				if b >= 64 {
+					v = 0
+				} else {
+					v = a << b
+				}
+			case opSHR:
+				if b >= 64 {
+					v = 0
+				} else {
+					v = a >> b
+				}
+			}
+			if err := m.push(v); err != nil {
+				return nil, err
+			}
+
+		case opISZERO, opNOT:
+			if err := m.charge(gasBase); err != nil {
+				return nil, err
+			}
+			a, err := m.pop()
+			if err != nil {
+				return nil, err
+			}
+			if op == opISZERO {
+				a = boolWord(a == 0)
+			} else {
+				a = ^a
+			}
+			if err := m.push(a); err != nil {
+				return nil, err
+			}
+
+		case opPUSH:
+			if err := m.charge(gasBase); err != nil {
+				return nil, err
+			}
+			v, err := m.imm64()
+			if err != nil {
+				return nil, err
+			}
+			if err := m.push(v); err != nil {
+				return nil, err
+			}
+
+		case opPOP:
+			if err := m.charge(gasBase); err != nil {
+				return nil, err
+			}
+			if _, err := m.pop(); err != nil {
+				return nil, err
+			}
+
+		case opDUP:
+			if err := m.charge(gasBase); err != nil {
+				return nil, err
+			}
+			n, err := m.imm8()
+			if err != nil {
+				return nil, err
+			}
+			if n < 1 || n > len(m.stack) {
+				return nil, ErrStackUnderflow
+			}
+			if err := m.push(m.stack[len(m.stack)-n]); err != nil {
+				return nil, err
+			}
+
+		case opSWAP:
+			if err := m.charge(gasBase); err != nil {
+				return nil, err
+			}
+			n, err := m.imm8()
+			if err != nil {
+				return nil, err
+			}
+			if n < 1 || n+1 > len(m.stack) {
+				return nil, ErrStackUnderflow
+			}
+			top := len(m.stack) - 1
+			m.stack[top], m.stack[top-n] = m.stack[top-n], m.stack[top]
+
+		case opJUMP:
+			if err := m.charge(gasJump); err != nil {
+				return nil, err
+			}
+			dst, err := m.imm32()
+			if err != nil {
+				return nil, err
+			}
+			if dst < 0 || dst > len(m.code) {
+				return nil, ErrBadJump
+			}
+			m.pc = dst
+
+		case opJUMPI:
+			if err := m.charge(gasJump); err != nil {
+				return nil, err
+			}
+			dst, err := m.imm32()
+			if err != nil {
+				return nil, err
+			}
+			cond, err := m.pop()
+			if err != nil {
+				return nil, err
+			}
+			if cond != 0 {
+				if dst < 0 || dst > len(m.code) {
+					return nil, ErrBadJump
+				}
+				m.pc = dst
+			}
+
+		case opCALLSUB:
+			if err := m.charge(gasJump); err != nil {
+				return nil, err
+			}
+			dst, err := m.imm32()
+			if err != nil {
+				return nil, err
+			}
+			if len(m.calls) >= maxCallDepth {
+				return nil, ErrStackOverflow
+			}
+			if dst < 0 || dst > len(m.code) {
+				return nil, ErrBadJump
+			}
+			m.calls = append(m.calls, m.pc)
+			m.pc = dst
+
+		case opRETSUB:
+			if err := m.charge(gasJump); err != nil {
+				return nil, err
+			}
+			if len(m.calls) == 0 {
+				return nil, ErrStackUnderflow
+			}
+			m.pc = m.calls[len(m.calls)-1]
+			m.calls = m.calls[:len(m.calls)-1]
+
+		case opMLOAD:
+			if err := m.charge(gasMem); err != nil {
+				return nil, err
+			}
+			off, err := m.pop()
+			if err != nil {
+				return nil, err
+			}
+			if err := m.grow(off, 8); err != nil {
+				return nil, err
+			}
+			if err := m.push(binary.LittleEndian.Uint64(m.mem[off:])); err != nil {
+				return nil, err
+			}
+
+		case opMSTORE:
+			if err := m.charge(gasMem); err != nil {
+				return nil, err
+			}
+			off, val, err := m.pop2()
+			if err != nil {
+				return nil, err
+			}
+			if err := m.grow(off, 8); err != nil {
+				return nil, err
+			}
+			binary.LittleEndian.PutUint64(m.mem[off:], val)
+
+		case opMLOAD1:
+			if err := m.charge(gasMem); err != nil {
+				return nil, err
+			}
+			off, err := m.pop()
+			if err != nil {
+				return nil, err
+			}
+			if err := m.grow(off, 1); err != nil {
+				return nil, err
+			}
+			if err := m.push(uint64(m.mem[off])); err != nil {
+				return nil, err
+			}
+
+		case opMSTORE1:
+			if err := m.charge(gasMem); err != nil {
+				return nil, err
+			}
+			off, val, err := m.pop2()
+			if err != nil {
+				return nil, err
+			}
+			if err := m.grow(off, 1); err != nil {
+				return nil, err
+			}
+			m.mem[off] = byte(val)
+
+		case opMSIZE:
+			if err := m.charge(gasBase); err != nil {
+				return nil, err
+			}
+			if err := m.push(uint64(len(m.mem))); err != nil {
+				return nil, err
+			}
+
+		case opSLOAD:
+			dstOff, err := m.pop()
+			if err != nil {
+				return nil, err
+			}
+			keyOff, keyLen, err := m.pop2()
+			if err != nil {
+				return nil, err
+			}
+			if err := m.grow(keyOff, keyLen); err != nil {
+				return nil, err
+			}
+			val := m.env.State.GetState(m.env.Contract, m.mem[keyOff:keyOff+keyLen])
+			if err := m.charge(gasSloadOp + gasPerByte*uint64(len(val))); err != nil {
+				return nil, err
+			}
+			found := uint64(0)
+			if val != nil {
+				found = 1
+				if err := m.grow(dstOff, uint64(len(val))); err != nil {
+					return nil, err
+				}
+				copy(m.mem[dstOff:], val)
+			}
+			if err := m.push(uint64(len(val))); err != nil {
+				return nil, err
+			}
+			if err := m.push(found); err != nil {
+				return nil, err
+			}
+
+		case opSSTORE:
+			valOff, valLen, err := m.pop2()
+			if err != nil {
+				return nil, err
+			}
+			keyOff, keyLen, err := m.pop2()
+			if err != nil {
+				return nil, err
+			}
+			if err := m.charge(gasSstoreOp + gasPerByte*(keyLen+valLen)); err != nil {
+				return nil, err
+			}
+			if err := m.grow(keyOff, keyLen); err != nil {
+				return nil, err
+			}
+			if err := m.grow(valOff, valLen); err != nil {
+				return nil, err
+			}
+			m.env.State.SetState(m.env.Contract,
+				m.mem[keyOff:keyOff+keyLen], m.mem[valOff:valOff+valLen])
+
+		case opSDEL:
+			keyOff, keyLen, err := m.pop2()
+			if err != nil {
+				return nil, err
+			}
+			if err := m.charge(gasSdelOp); err != nil {
+				return nil, err
+			}
+			if err := m.grow(keyOff, keyLen); err != nil {
+				return nil, err
+			}
+			m.env.State.DeleteState(m.env.Contract, m.mem[keyOff:keyOff+keyLen])
+
+		case opARGN:
+			if err := m.charge(gasBase); err != nil {
+				return nil, err
+			}
+			if err := m.push(uint64(len(m.env.Args))); err != nil {
+				return nil, err
+			}
+
+		case opARG:
+			i, dstOff, err := m.pop2()
+			if err != nil {
+				return nil, err
+			}
+			if i >= uint64(len(m.env.Args)) {
+				return nil, ErrStackUnderflow
+			}
+			arg := m.env.Args[i]
+			if err := m.charge(gasArg + gasPerByte*uint64(len(arg))); err != nil {
+				return nil, err
+			}
+			if err := m.grow(dstOff, uint64(len(arg))); err != nil {
+				return nil, err
+			}
+			copy(m.mem[dstOff:], arg)
+			if err := m.push(uint64(len(arg))); err != nil {
+				return nil, err
+			}
+
+		case opARGW:
+			if err := m.charge(gasBase); err != nil {
+				return nil, err
+			}
+			i, err := m.pop()
+			if err != nil {
+				return nil, err
+			}
+			if i >= uint64(len(m.env.Args)) {
+				return nil, ErrStackUnderflow
+			}
+			if err := m.push(types.U64(m.env.Args[i])); err != nil {
+				return nil, err
+			}
+
+		case opCALLER:
+			if err := m.charge(gasBase); err != nil {
+				return nil, err
+			}
+			dstOff, err := m.pop()
+			if err != nil {
+				return nil, err
+			}
+			if err := m.grow(dstOff, types.AddressSize); err != nil {
+				return nil, err
+			}
+			copy(m.mem[dstOff:], m.env.Caller[:])
+			if err := m.push(types.AddressSize); err != nil {
+				return nil, err
+			}
+
+		case opVALUE:
+			if err := m.charge(gasBase); err != nil {
+				return nil, err
+			}
+			if err := m.push(m.env.Value); err != nil {
+				return nil, err
+			}
+
+		case opSELFBAL:
+			if err := m.charge(gasBase); err != nil {
+				return nil, err
+			}
+			if err := m.push(m.env.State.GetBalance(m.env.ContractAddr)); err != nil {
+				return nil, err
+			}
+
+		case opBALANCE:
+			if err := m.charge(gasBase); err != nil {
+				return nil, err
+			}
+			addrOff, err := m.pop()
+			if err != nil {
+				return nil, err
+			}
+			if err := m.grow(addrOff, types.AddressSize); err != nil {
+				return nil, err
+			}
+			a := types.BytesToAddress(m.mem[addrOff : addrOff+types.AddressSize])
+			if err := m.push(m.env.State.GetBalance(a)); err != nil {
+				return nil, err
+			}
+
+		case opTRANSFER:
+			if err := m.charge(gasTransfer); err != nil {
+				return nil, err
+			}
+			addrOff, amount, err := m.pop2()
+			if err != nil {
+				return nil, err
+			}
+			if err := m.grow(addrOff, types.AddressSize); err != nil {
+				return nil, err
+			}
+			to := types.BytesToAddress(m.mem[addrOff : addrOff+types.AddressSize])
+			if err := m.env.State.Transfer(m.env.ContractAddr, to, amount); err != nil {
+				return nil, err
+			}
+
+		case opRETURN, opREVERT:
+			if err := m.charge(gasBase); err != nil {
+				return nil, err
+			}
+			off, length, err := m.pop2()
+			if err != nil {
+				return nil, err
+			}
+			if err := m.grow(off, length); err != nil {
+				return nil, err
+			}
+			out := make([]byte, length)
+			copy(out, m.mem[off:off+length])
+			if op == opREVERT {
+				return out, ErrRevert
+			}
+			return out, nil
+
+		case opSHA3:
+			off, length, err := m.pop2()
+			if err != nil {
+				return nil, err
+			}
+			dstOff, err := m.pop()
+			if err != nil {
+				return nil, err
+			}
+			if err := m.charge(gasSha3 + length/32); err != nil {
+				return nil, err
+			}
+			if err := m.grow(off, length); err != nil {
+				return nil, err
+			}
+			h := types.HashData(m.mem[off : off+length])
+			if err := m.grow(dstOff, types.HashSize); err != nil {
+				return nil, err
+			}
+			copy(m.mem[dstOff:], h[:])
+			if err := m.push(types.HashSize); err != nil {
+				return nil, err
+			}
+
+		case opGASLEFT:
+			if err := m.charge(gasBase); err != nil {
+				return nil, err
+			}
+			if err := m.push(m.gas); err != nil {
+				return nil, err
+			}
+
+		default:
+			return nil, ErrBadOpcode
+		}
+	}
+}

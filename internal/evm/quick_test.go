@@ -1,0 +1,154 @@
+package evm_test
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"blockbench/internal/contracts"
+	"blockbench/internal/evm"
+	"blockbench/internal/evm/asm"
+	"blockbench/internal/types"
+)
+
+// runBinOp assembles and executes a two-operand program, returning the
+// 64-bit result.
+func runBinOp(t *testing.T, op string, a, b uint64) (uint64, error) {
+	t.Helper()
+	src := fmt.Sprintf(`
+.func f
+  PUSH %d
+  PUSH %d
+  %s
+  PUSH 0
+  SWAP 1
+  MSTORE
+  PUSH 0
+  PUSH 8
+  RETURN
+`, a, b, op)
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble %s: %v", op, err)
+	}
+	res := evm.Run(prog, "f", &evm.Env{State: nullState{}, GasLimit: 1 << 20})
+	if res.Err != nil {
+		return 0, res.Err
+	}
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(res.Output[i])
+	}
+	return v, nil
+}
+
+// nullState satisfies evm.State for pure computations.
+type nullState struct{}
+
+func (nullState) GetState(string, []byte) []byte                     { return nil }
+func (nullState) SetState(string, []byte, []byte)                    {}
+func (nullState) DeleteState(string, []byte)                         {}
+func (nullState) GetBalance(types.Address) uint64                    { return 0 }
+func (nullState) Transfer(types.Address, types.Address, uint64) error { return nil }
+
+// TestVMArithmeticMatchesGo checks that every binary ALU opcode computes
+// exactly what Go computes, over random operands.
+func TestVMArithmeticMatchesGo(t *testing.T) {
+	ops := map[string]func(a, b uint64) uint64{
+		"ADD": func(a, b uint64) uint64 { return a + b },
+		"SUB": func(a, b uint64) uint64 { return a - b },
+		"MUL": func(a, b uint64) uint64 { return a * b },
+		"AND": func(a, b uint64) uint64 { return a & b },
+		"OR":  func(a, b uint64) uint64 { return a | b },
+		"XOR": func(a, b uint64) uint64 { return a ^ b },
+		"LT": func(a, b uint64) uint64 {
+			if a < b {
+				return 1
+			}
+			return 0
+		},
+		"GT": func(a, b uint64) uint64 {
+			if a > b {
+				return 1
+			}
+			return 0
+		},
+		"EQ": func(a, b uint64) uint64 {
+			if a == b {
+				return 1
+			}
+			return 0
+		},
+		"SLT": func(a, b uint64) uint64 {
+			if int64(a) < int64(b) {
+				return 1
+			}
+			return 0
+		},
+		"SGT": func(a, b uint64) uint64 {
+			if int64(a) > int64(b) {
+				return 1
+			}
+			return 0
+		},
+	}
+	for op, model := range ops {
+		op, model := op, model
+		f := func(a, b uint64) bool {
+			got, err := runBinOp(t, op, a, b)
+			return err == nil && got == model(a, b)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+			t.Errorf("%s: %v", op, err)
+		}
+	}
+}
+
+// TestVMDivModMatchesGo covers the trapping opcodes separately.
+func TestVMDivModMatchesGo(t *testing.T) {
+	f := func(a, b uint64) bool {
+		if b == 0 {
+			b = 1
+		}
+		q, err := runBinOp(t, "DIV", a, b)
+		if err != nil || q != a/b {
+			return false
+		}
+		r, err := runBinOp(t, "MOD", a, b)
+		return err == nil && r == a%b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVMSortProperty: for random small n, the CPUHeavy contract returns
+// the minimum element (1) and charges gas monotonically in n.
+func TestVMSortProperty(t *testing.T) {
+	spec := mustContract(t)
+	var lastGas uint64
+	for _, n := range []uint64{2, 8, 32, 128, 512} {
+		res := evm.Run(spec, "sort", &evm.Env{
+			State: nullState{}, Args: [][]byte{types.U64Bytes(n)}, GasLimit: 1 << 40,
+		})
+		if res.Err != nil {
+			t.Fatalf("n=%d: %v", n, res.Err)
+		}
+		if types.U64(reverse8(res.Output)) != 1 {
+			t.Fatalf("n=%d: min = %v", n, res.Output)
+		}
+		if res.GasUsed <= lastGas {
+			t.Fatalf("n=%d: gas %d not increasing (prev %d)", n, res.GasUsed, lastGas)
+		}
+		lastGas = res.GasUsed
+	}
+}
+
+func mustContract(t *testing.T) *evm.Program {
+	t.Helper()
+	spec, err := contracts.Lookup("cpuheavy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec.EVM
+}

@@ -1,0 +1,256 @@
+// Package exec provides the transaction execution engines that sit
+// between the ledger and the contract runtimes: an EVM engine for the
+// Ethereum/Parity presets and a native chaincode engine for the
+// Hyperledger preset. Both apply the same transactional discipline —
+// snapshot, execute, revert on failure — so a failed contract call never
+// leaks partial writes into the world state.
+package exec
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"blockbench/internal/chaincode"
+	"blockbench/internal/contracts"
+	"blockbench/internal/evm"
+	"blockbench/internal/state"
+	"blockbench/internal/types"
+)
+
+// Engine executes transactions and read-only queries for one platform.
+type Engine interface {
+	// Execute applies tx to db as part of block blockNum, returning a
+	// receipt. State changes of failed transactions are rolled back.
+	Execute(db *state.DB, tx *types.Transaction, blockNum uint64) *types.Receipt
+	// Query runs a read-only contract method against db.
+	Query(db *state.DB, contract, method string, args [][]byte) ([]byte, error)
+	// Contracts lists deployed contract names.
+	Contracts() []string
+}
+
+// MemModel parameterizes the simulated resident footprint of contract
+// execution (see evm.Env); the experiments use it to reproduce the
+// paper's CPUHeavy memory measurements without terabyte allocations.
+type MemModel struct {
+	Base   int64 // fixed process overhead, bytes
+	Factor int64 // simulated bytes per actual VM memory byte
+	Cap    int64 // out-of-memory threshold, 0 = unlimited
+}
+
+// EVMEngine executes transactions through the gas-metered VM.
+type EVMEngine struct {
+	progs map[string]*evm.Program
+	mem   MemModel
+
+	peakMem  atomic.Int64
+	execTime atomic.Int64 // cumulative ns spent executing
+	steps    atomic.Uint64
+}
+
+// NewEVMEngine deploys the named contracts (from the Table 1 registry)
+// and returns an engine using the given memory model.
+func NewEVMEngine(mem MemModel, contractNames ...string) (*EVMEngine, error) {
+	e := &EVMEngine{progs: make(map[string]*evm.Program), mem: mem}
+	for _, name := range contractNames {
+		spec, err := contracts.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		if spec.EVM == nil {
+			return nil, fmt.Errorf("exec: contract %q has no EVM implementation", name)
+		}
+		e.progs[name] = spec.EVM
+	}
+	return e, nil
+}
+
+// Contracts implements Engine.
+func (e *EVMEngine) Contracts() []string {
+	out := make([]string, 0, len(e.progs))
+	for name := range e.progs {
+		out = append(out, name)
+	}
+	return out
+}
+
+// contractAddress derives the account that holds a contract's funds.
+func contractAddress(name string) types.Address {
+	return types.BytesToAddress([]byte("contract:" + name))
+}
+
+// Execute implements Engine.
+func (e *EVMEngine) Execute(db *state.DB, tx *types.Transaction, blockNum uint64) *types.Receipt {
+	r := &types.Receipt{TxHash: tx.Hash(), BlockNumber: blockNum}
+	snap := db.Snapshot()
+	fail := func(gas uint64, err error) *types.Receipt {
+		db.Revert(snap)
+		r.OK = false
+		r.GasUsed = gas
+		r.Err = err.Error()
+		return r
+	}
+	if tx.GasLimit < evm.TxIntrinsicGas {
+		return fail(tx.GasLimit, evm.ErrOutOfGas)
+	}
+	// Plain value transfer.
+	if tx.Contract == "" {
+		if err := db.Transfer(tx.From, tx.To, tx.Value); err != nil {
+			return fail(evm.TxIntrinsicGas, err)
+		}
+		r.OK = true
+		r.GasUsed = evm.TxIntrinsicGas
+		return r
+	}
+	prog, ok := e.progs[tx.Contract]
+	if !ok {
+		return fail(evm.TxIntrinsicGas, fmt.Errorf("exec: no contract %q", tx.Contract))
+	}
+	addr := contractAddress(tx.Contract)
+	if tx.Value > 0 {
+		if err := db.Transfer(tx.From, addr, tx.Value); err != nil {
+			return fail(evm.TxIntrinsicGas, err)
+		}
+	}
+	start := time.Now()
+	res := evm.Run(prog, tx.Method, &evm.Env{
+		State:        db,
+		Contract:     tx.Contract,
+		ContractAddr: addr,
+		Caller:       tx.From,
+		Value:        tx.Value,
+		Args:         tx.Args,
+		GasLimit:     tx.GasLimit - evm.TxIntrinsicGas,
+		MemBase:      e.mem.Base,
+		MemFactor:    e.mem.Factor,
+		MemCap:       e.mem.Cap,
+	})
+	e.execTime.Add(int64(time.Since(start)))
+	e.steps.Add(res.Steps)
+	for {
+		cur := e.peakMem.Load()
+		if res.PeakMem <= cur || e.peakMem.CompareAndSwap(cur, res.PeakMem) {
+			break
+		}
+	}
+	gas := evm.TxIntrinsicGas + res.GasUsed
+	if res.Err != nil {
+		return fail(gas, res.Err)
+	}
+	r.OK = true
+	r.GasUsed = gas
+	r.Output = res.Output
+	return r
+}
+
+// Query implements Engine. Queries run on a snapshot and are always
+// rolled back.
+func (e *EVMEngine) Query(db *state.DB, contract, method string, args [][]byte) ([]byte, error) {
+	prog, ok := e.progs[contract]
+	if !ok {
+		return nil, fmt.Errorf("exec: no contract %q", contract)
+	}
+	snap := db.Snapshot()
+	defer db.Revert(snap)
+	start := time.Now()
+	res := evm.Run(prog, method, &evm.Env{
+		State: db, Contract: contract, ContractAddr: contractAddress(contract),
+		Args: args, GasLimit: 1 << 40,
+		MemBase: e.mem.Base, MemFactor: e.mem.Factor, MemCap: e.mem.Cap,
+	})
+	e.execTime.Add(int64(time.Since(start)))
+	e.steps.Add(res.Steps)
+	for {
+		cur := e.peakMem.Load()
+		if res.PeakMem <= cur || e.peakMem.CompareAndSwap(cur, res.PeakMem) {
+			break
+		}
+	}
+	if res.Err != nil {
+		return nil, res.Err
+	}
+	return res.Output, nil
+}
+
+// PeakMem reports the largest simulated execution footprint seen.
+func (e *EVMEngine) PeakMem() int64 { return e.peakMem.Load() }
+
+// ExecTime reports cumulative wall-clock time spent inside the VM.
+func (e *EVMEngine) ExecTime() time.Duration { return time.Duration(e.execTime.Load()) }
+
+// Steps reports the total VM instructions executed.
+func (e *EVMEngine) Steps() uint64 { return e.steps.Load() }
+
+// NativeEngine executes transactions through compiled-in Go chaincodes,
+// the Hyperledger execution model.
+type NativeEngine struct {
+	codes    map[string]chaincode.Chaincode
+	execTime atomic.Int64
+}
+
+// NewNativeEngine deploys the named chaincodes from the registry.
+func NewNativeEngine(contractNames ...string) (*NativeEngine, error) {
+	e := &NativeEngine{codes: make(map[string]chaincode.Chaincode)}
+	for _, name := range contractNames {
+		spec, err := contracts.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		if spec.Chaincode == nil {
+			return nil, fmt.Errorf("exec: contract %q has no chaincode implementation", name)
+		}
+		e.codes[name] = spec.Chaincode
+	}
+	return e, nil
+}
+
+// Contracts implements Engine.
+func (e *NativeEngine) Contracts() []string {
+	out := make([]string, 0, len(e.codes))
+	for name := range e.codes {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Execute implements Engine. Chaincode execution is not gas metered
+// (Fabric v0.6 "does not consider these semantics in its design").
+func (e *NativeEngine) Execute(db *state.DB, tx *types.Transaction, blockNum uint64) *types.Receipt {
+	r := &types.Receipt{TxHash: tx.Hash(), BlockNumber: blockNum}
+	snap := db.Snapshot()
+	cc, ok := e.codes[tx.Contract]
+	if !ok {
+		r.Err = fmt.Sprintf("exec: no chaincode %q", tx.Contract)
+		return r
+	}
+	stub := chaincode.NewStub(db, tx.Contract, tx.From, tx.Value)
+	stub.ContractAddr = contractAddress(tx.Contract)
+	stub.BlockNumber = blockNum
+	start := time.Now()
+	out, err := cc.Invoke(stub, tx.Method, tx.Args)
+	e.execTime.Add(int64(time.Since(start)))
+	if err != nil {
+		db.Revert(snap)
+		r.Err = err.Error()
+		return r
+	}
+	r.OK = true
+	r.Output = out
+	return r
+}
+
+// Query implements Engine.
+func (e *NativeEngine) Query(db *state.DB, contract, method string, args [][]byte) ([]byte, error) {
+	cc, ok := e.codes[contract]
+	if !ok {
+		return nil, fmt.Errorf("exec: no chaincode %q", contract)
+	}
+	snap := db.Snapshot()
+	defer db.Revert(snap)
+	stub := chaincode.NewStub(db, contract, types.ZeroAddress, 0)
+	stub.ContractAddr = contractAddress(contract)
+	return cc.Query(stub, method, args)
+}
+
+// ExecTime reports cumulative wall-clock time spent inside chaincode.
+func (e *NativeEngine) ExecTime() time.Duration { return time.Duration(e.execTime.Load()) }

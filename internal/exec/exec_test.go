@@ -1,0 +1,183 @@
+package exec
+
+import (
+	"testing"
+
+	"blockbench/internal/kvstore"
+	"blockbench/internal/state"
+	"blockbench/internal/types"
+)
+
+func newDB(t *testing.T) *state.DB {
+	t.Helper()
+	b, err := state.NewTrieBackend(kvstore.NewMem(), types.ZeroHash, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return state.NewDB(b)
+}
+
+func engines(t *testing.T) map[string]Engine {
+	t.Helper()
+	evm, err := NewEVMEngine(MemModel{}, "ycsb", "donothing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	native, err := NewNativeEngine("ycsb", "donothing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Engine{"evm": evm, "native": native}
+}
+
+func TestExecuteWriteAndQuery(t *testing.T) {
+	for name, eng := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			db := newDB(t)
+			tx := &types.Transaction{Contract: "ycsb", Method: "write",
+				Args: [][]byte{[]byte("k"), []byte("v")}, GasLimit: 100_000}
+			r := eng.Execute(db, tx, 1)
+			if !r.OK {
+				t.Fatalf("receipt: %+v", r)
+			}
+			if r.BlockNumber != 1 || r.TxHash != tx.Hash() {
+				t.Fatal("receipt metadata wrong")
+			}
+			out, err := eng.Query(db, "ycsb", "read", [][]byte{[]byte("k")})
+			if err != nil || string(out) != "v" {
+				t.Fatalf("query = %q, %v", out, err)
+			}
+		})
+	}
+}
+
+func TestFailedExecutionRollsBack(t *testing.T) {
+	for name, eng := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			db := newDB(t)
+			// read of a missing key reverts on both engines.
+			tx := &types.Transaction{Contract: "ycsb", Method: "read",
+				Args: [][]byte{[]byte("missing")}, GasLimit: 100_000}
+			r := eng.Execute(db, tx, 1)
+			if r.OK {
+				t.Fatal("reverting tx reported OK")
+			}
+			if r.Err == "" {
+				t.Fatal("no error recorded")
+			}
+		})
+	}
+}
+
+func TestUnknownContract(t *testing.T) {
+	for name, eng := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			db := newDB(t)
+			tx := &types.Transaction{Contract: "nope", Method: "x", GasLimit: 100_000}
+			if r := eng.Execute(db, tx, 1); r.OK {
+				t.Fatal("unknown contract executed")
+			}
+			if _, err := eng.Query(db, "nope", "x", nil); err == nil {
+				t.Fatal("unknown contract queried")
+			}
+		})
+	}
+}
+
+func TestEVMValueTransfer(t *testing.T) {
+	eng, err := NewEVMEngine(MemModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := newDB(t)
+	alice := types.BytesToAddress([]byte("alice"))
+	bob := types.BytesToAddress([]byte("bob"))
+	db.SetBalance(alice, 100)
+	tx := &types.Transaction{From: alice, To: bob, Value: 30, GasLimit: 100_000}
+	if r := eng.Execute(db, tx, 1); !r.OK {
+		t.Fatalf("transfer failed: %s", r.Err)
+	}
+	if db.GetBalance(bob) != 30 || db.GetBalance(alice) != 70 {
+		t.Fatal("balances wrong")
+	}
+	// Overdraft fails and rolls back.
+	tx2 := &types.Transaction{From: alice, To: bob, Value: 1000, GasLimit: 100_000, Nonce: 1}
+	if r := eng.Execute(db, tx2, 2); r.OK {
+		t.Fatal("overdraft transfer succeeded")
+	}
+	if db.GetBalance(alice) != 70 {
+		t.Fatal("overdraft mutated state")
+	}
+}
+
+func TestEVMIntrinsicGas(t *testing.T) {
+	eng, err := NewEVMEngine(MemModel{}, "donothing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := newDB(t)
+	// Below intrinsic gas: rejected.
+	tx := &types.Transaction{Contract: "donothing", Method: "invoke", GasLimit: 100}
+	if r := eng.Execute(db, tx, 1); r.OK {
+		t.Fatal("tx below intrinsic gas executed")
+	}
+	tx2 := &types.Transaction{Contract: "donothing", Method: "invoke", GasLimit: 30_000, Nonce: 1}
+	r := eng.Execute(db, tx2, 1)
+	if !r.OK {
+		t.Fatalf("donothing failed: %s", r.Err)
+	}
+	if r.GasUsed < 21_000 {
+		t.Fatalf("gas used %d below intrinsic", r.GasUsed)
+	}
+}
+
+func TestQueryDoesNotMutate(t *testing.T) {
+	for name, eng := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			db := newDB(t)
+			// YCSB "read" is pure, but run a write through Query on the
+			// native engine's Invoke path is not possible — instead
+			// verify roots are stable across queries.
+			tx := &types.Transaction{Contract: "ycsb", Method: "write",
+				Args: [][]byte{[]byte("k"), []byte("v")}, GasLimit: 100_000}
+			eng.Execute(db, tx, 1)
+			r1, err := db.Commit()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := eng.Query(db, "ycsb", "read", [][]byte{[]byte("k")}); err != nil {
+				t.Fatal(err)
+			}
+			r2, err := db.Commit()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r1 != r2 {
+				t.Fatalf("%s: query mutated state", name)
+			}
+		})
+	}
+}
+
+func TestEVMEngineCounters(t *testing.T) {
+	eng, err := NewEVMEngine(MemModel{Base: 1 << 20, Factor: 2}, "ycsb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := newDB(t)
+	tx := &types.Transaction{Contract: "ycsb", Method: "write",
+		Args: [][]byte{[]byte("k"), []byte("v")}, GasLimit: 100_000}
+	eng.Execute(db, tx, 1)
+	if eng.Steps() == 0 {
+		t.Fatal("no steps counted")
+	}
+	if eng.ExecTime() <= 0 {
+		t.Fatal("no exec time")
+	}
+	if eng.PeakMem() < 1<<20 {
+		t.Fatalf("peak mem %d below base", eng.PeakMem())
+	}
+	if len(eng.Contracts()) != 1 {
+		t.Fatal("contracts list wrong")
+	}
+}

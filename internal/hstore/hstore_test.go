@@ -1,0 +1,158 @@
+package hstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSinglePartitionOps(t *testing.T) {
+	s := New(4)
+	defer s.Close()
+	err := s.Exec([]string{"k1"}, func(a Access) {
+		a.Put("k1", []byte("v1"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.Exec([]string{"k1"}, func(a Access) {
+		v, ok := a.Get("k1")
+		if !ok || string(v) != "v1" {
+			t.Errorf("get = %q, %v", v, ok)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiPartitionTransfer(t *testing.T) {
+	s := New(8)
+	defer s.Close()
+	put := func(k string, v uint64) {
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], v)
+		if err := s.Exec([]string{k}, func(a Access) { a.Put(k, b[:]) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get := func(k string) uint64 {
+		var out uint64
+		s.Exec([]string{k}, func(a Access) {
+			v, _ := a.Get(k)
+			out = binary.BigEndian.Uint64(v)
+		})
+		return out
+	}
+	put("alice", 100)
+	put("bob", 0)
+	err := s.Exec([]string{"alice", "bob"}, func(a Access) {
+		av, _ := a.Get("alice")
+		bv, _ := a.Get("bob")
+		ab := binary.BigEndian.Uint64(av)
+		bb := binary.BigEndian.Uint64(bv)
+		var na, nb [8]byte
+		binary.BigEndian.PutUint64(na[:], ab-30)
+		binary.BigEndian.PutUint64(nb[:], bb+30)
+		a.Put("alice", na[:])
+		a.Put("bob", nb[:])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if get("alice") != 70 || get("bob") != 30 {
+		t.Fatalf("balances: %d, %d", get("alice"), get("bob"))
+	}
+}
+
+func TestConcurrentTransfersConserveTotal(t *testing.T) {
+	s := New(4)
+	defer s.Close()
+	const accounts = 16
+	key := func(i int) string { return fmt.Sprintf("acct-%d", i) }
+	for i := 0; i < accounts; i++ {
+		k := key(i)
+		s.Exec([]string{k}, func(a Access) {
+			var b [8]byte
+			binary.BigEndian.PutUint64(b[:], 1000)
+			a.Put(k, b[:])
+		})
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				from, to := key((w+i)%accounts), key((w*3+i*7+1)%accounts)
+				if from == to {
+					continue
+				}
+				s.Exec([]string{from, to}, func(a Access) {
+					fv, _ := a.Get(from)
+					tv, _ := a.Get(to)
+					fb := binary.BigEndian.Uint64(fv)
+					tb := binary.BigEndian.Uint64(tv)
+					if fb < 1 {
+						return
+					}
+					var nf, nt [8]byte
+					binary.BigEndian.PutUint64(nf[:], fb-1)
+					binary.BigEndian.PutUint64(nt[:], tb+1)
+					a.Put(from, nf[:])
+					a.Put(to, nt[:])
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total uint64
+	for i := 0; i < accounts; i++ {
+		k := key(i)
+		s.Exec([]string{k}, func(a Access) {
+			v, _ := a.Get(k)
+			total += binary.BigEndian.Uint64(v)
+		})
+	}
+	if total != accounts*1000 {
+		t.Fatalf("total = %d, want %d", total, accounts*1000)
+	}
+}
+
+func TestSinglePartitionFasterThanMulti(t *testing.T) {
+	// The H-Store premise: cross-partition coordination costs dearly.
+	s := New(8)
+	defer s.Close()
+	for i := 0; i < 64; i++ {
+		k := fmt.Sprintf("k%d", i)
+		s.Exec([]string{k}, func(a Access) { a.Put(k, []byte("v")) })
+	}
+	measure := func(multi bool) time.Duration {
+		start := time.Now()
+		for i := 0; i < 2000; i++ {
+			if multi {
+				k1, k2 := fmt.Sprintf("k%d", i%64), fmt.Sprintf("k%d", (i+13)%64)
+				s.Exec([]string{k1, k2}, func(a Access) { a.Get(k1); a.Get(k2) })
+			} else {
+				k := fmt.Sprintf("k%d", i%64)
+				s.Exec([]string{k}, func(a Access) { a.Get(k) })
+			}
+		}
+		return time.Since(start)
+	}
+	single := measure(false)
+	multi := measure(true)
+	if multi < single {
+		t.Fatalf("multi-partition (%v) unexpectedly faster than single (%v)", multi, single)
+	}
+}
+
+func TestCloseUnblocks(t *testing.T) {
+	s := New(2)
+	s.Close()
+	if err := s.Exec([]string{"k"}, func(a Access) {}); err != ErrStopped {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,47 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkMemPut(b *testing.B) {
+	s := NewMem()
+	defer s.Close()
+	val := make([]byte, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Put([]byte(fmt.Sprintf("key-%09d", i)), val)
+	}
+}
+
+func BenchmarkLSMPut(b *testing.B) {
+	s, err := OpenLSM(b.TempDir(), LSMOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	val := make([]byte, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Put([]byte(fmt.Sprintf("key-%09d", i)), val)
+	}
+}
+
+func BenchmarkLSMGet(b *testing.B) {
+	s, err := OpenLSM(b.TempDir(), LSMOptions{MemTableBytes: 1 << 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	const keys = 10_000
+	for i := 0; i < keys; i++ {
+		s.Put([]byte(fmt.Sprintf("key-%09d", i)), make([]byte, 100))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Get([]byte(fmt.Sprintf("key-%09d", i%keys))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,444 @@
+// Package ledger implements per-node chain management: block validation
+// and execution, canonical-chain selection by total difficulty (with
+// reorgs for the forking PoW/PoA platforms), receipts, and the
+// block-range queries that the BLOCKBENCH driver polls
+// (getLatestBlock(h) in the paper's connector interface).
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"blockbench/internal/crypto"
+	"blockbench/internal/exec"
+	"blockbench/internal/merkle"
+	"blockbench/internal/state"
+	"blockbench/internal/types"
+)
+
+// Chain errors.
+var (
+	ErrUnknownParent = errors.New("ledger: unknown parent")
+	ErrBadBlock      = errors.New("ledger: invalid block")
+	ErrNoForks       = errors.New("ledger: platform does not fork")
+)
+
+// Config assembles a chain.
+type Config struct {
+	// Engine executes transactions.
+	Engine exec.Engine
+	// StateFactory opens a state database at the given root. Platforms
+	// without state versioning (Hyperledger's bucket tree) may return a
+	// process-wide singleton; they must also set SupportsForks=false.
+	StateFactory func(root types.Hash) (*state.DB, error)
+	// Registry verifies transaction signatures; nil disables checks.
+	Registry *crypto.Registry
+	// GasLimit is the block gas limit (0 = unlimited), Ethereum-style.
+	GasLimit uint64
+	// SupportsForks enables side chains and reorgs (PoW/PoA). When
+	// false, a block whose parent is not the current head is rejected.
+	SupportsForks bool
+	// GenesisAlloc funds accounts at genesis.
+	GenesisAlloc map[types.Address]uint64
+	// GenesisTime stamps the genesis header. All nodes of one network
+	// must agree on it, or their genesis hashes (and thus chains) would
+	// diverge.
+	GenesisTime int64
+	// OnInclude is called with the transactions of blocks that become
+	// canonical, so the node can clear them from its pending pool. Pool
+	// bookkeeping must key off canonicality, not block arrival: a
+	// transaction that only ever appeared on a losing fork has to stay
+	// pending.
+	OnInclude func(included []*types.Transaction)
+	// OnReorg is called with the transactions of blocks that left the
+	// canonical chain and are not part of the new branch, so the node
+	// can return them to its pending pool.
+	OnReorg func(dropped []*types.Transaction)
+}
+
+type entry struct {
+	block     *types.Block
+	stateRoot types.Hash
+	totalDiff uint64
+	receipts  []*types.Receipt
+}
+
+// Chain is one node's view of the blockchain. Safe for concurrent use.
+type Chain struct {
+	cfg Config
+
+	mu        sync.RWMutex
+	entries   map[types.Hash]*entry
+	canonical []types.Hash // by height, canonical[0] = genesis
+	head      *entry
+	byTx      map[types.Hash]*types.Receipt
+	headState *state.DB
+
+	appended uint64 // every block ever accepted, including side chains
+}
+
+// New creates a chain with a freshly executed genesis block.
+func New(cfg Config) (*Chain, error) {
+	db, err := cfg.StateFactory(types.ZeroHash)
+	if err != nil {
+		return nil, err
+	}
+	for addr, amount := range cfg.GenesisAlloc {
+		db.SetBalance(addr, amount)
+	}
+	root, err := db.Commit()
+	if err != nil {
+		return nil, fmt.Errorf("ledger: genesis commit: %w", err)
+	}
+	genesis := &types.Block{Header: types.Header{
+		Number: 0, StateRoot: root, Time: cfg.GenesisTime,
+		GasLimit: cfg.GasLimit,
+	}}
+	e := &entry{block: genesis, stateRoot: root}
+	c := &Chain{
+		cfg:       cfg,
+		entries:   map[types.Hash]*entry{genesis.Hash(): e},
+		canonical: []types.Hash{genesis.Hash()},
+		head:      e,
+		byTx:      make(map[types.Hash]*types.Receipt),
+		headState: db,
+	}
+	return c, nil
+}
+
+// Genesis returns the genesis block.
+func (c *Chain) Genesis() *types.Block {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.entries[c.canonical[0]].block
+}
+
+// Head returns the current canonical head block.
+func (c *Chain) Head() *types.Block {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.head.block
+}
+
+// Has reports whether the block is known (canonical or side chain).
+func (c *Chain) Has(h types.Hash) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.entries[h]
+	return ok
+}
+
+// verifyTxs checks signatures and corruption flags.
+func (c *Chain) verifyTxs(b *types.Block) error {
+	if c.cfg.Registry == nil {
+		return nil
+	}
+	for _, tx := range b.Txs {
+		if !c.cfg.Registry.VerifyTx(tx) {
+			return fmt.Errorf("%w: bad signature on %s", ErrBadBlock, tx.Hash())
+		}
+	}
+	return nil
+}
+
+// execute runs the block's transactions on the parent state.
+func (c *Chain) execute(parent *entry, b *types.Block) (types.Hash, []*types.Receipt, uint64, error) {
+	db, err := c.cfg.StateFactory(parent.stateRoot)
+	if err != nil {
+		return types.ZeroHash, nil, 0, err
+	}
+	receipts := make([]*types.Receipt, len(b.Txs))
+	var gasUsed uint64
+	for i, tx := range b.Txs {
+		r := c.cfg.Engine.Execute(db, tx, b.Number())
+		r.Index = i
+		r.BlockHash = b.Hash()
+		receipts[i] = r
+		gasUsed += r.GasUsed
+	}
+	root, err := db.Commit()
+	if err != nil {
+		return types.ZeroHash, nil, 0, fmt.Errorf("ledger: state commit: %w", err)
+	}
+	return root, receipts, gasUsed, nil
+}
+
+// Append validates, executes and stores a block, advancing the head if
+// the block extends the heaviest chain. Duplicate blocks are ignored.
+func (c *Chain) Append(b *types.Block) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.entries[b.Hash()]; dup {
+		return nil
+	}
+	parent, ok := c.entries[b.Header.ParentHash]
+	if !ok {
+		return ErrUnknownParent
+	}
+	if !c.cfg.SupportsForks && b.Header.ParentHash != c.head.block.Hash() {
+		return ErrNoForks
+	}
+	if b.Number() != parent.block.Number()+1 {
+		return fmt.Errorf("%w: number %d after parent %d", ErrBadBlock, b.Number(), parent.block.Number())
+	}
+	if err := c.verifyTxs(b); err != nil {
+		return err
+	}
+	if txRoot := merkle.TxRoot(b.Txs); !b.Header.TxRoot.IsZero() && txRoot != b.Header.TxRoot {
+		return fmt.Errorf("%w: tx root mismatch", ErrBadBlock)
+	}
+
+	root, receipts, gasUsed, err := c.execute(parent, b)
+	if err != nil {
+		return err
+	}
+	if !b.Header.StateRoot.IsZero() && b.Header.StateRoot != root {
+		return fmt.Errorf("%w: state root mismatch (have %s, computed %s)",
+			ErrBadBlock, b.Header.StateRoot.Short(), root.Short())
+	}
+
+	diff := b.Header.Difficulty
+	if diff == 0 {
+		diff = 1
+	}
+	e := &entry{block: b, stateRoot: root, totalDiff: parent.totalDiff + diff, receipts: receipts}
+	_ = gasUsed
+	c.entries[b.Hash()] = e
+	c.appended++
+
+	if e.totalDiff > c.head.totalDiff {
+		c.setHeadLocked(e)
+	}
+	return nil
+}
+
+// setHeadLocked switches the canonical chain to end at e, stamping
+// commit times on the receipts of newly canonical blocks.
+func (c *Chain) setHeadLocked(e *entry) {
+	c.head = e
+	c.headState = nil // lazily reopened at the new root
+
+	// Rebuild the canonical index from e back to the divergence point.
+	now := time.Now()
+	cur := e
+	var fresh []*entry
+	for {
+		n := cur.block.Number()
+		if uint64(len(c.canonical)) > n && c.canonical[n] == cur.block.Hash() {
+			break
+		}
+		fresh = append(fresh, cur)
+		if n == 0 {
+			break
+		}
+		cur = c.entries[cur.block.Header.ParentHash]
+	}
+	// Receipts on abandoned branch blocks must no longer resolve, and
+	// their transactions go back to the pool unless the new branch also
+	// includes them.
+	var dropped []*types.Transaction
+	if len(fresh) > 0 {
+		lowest := fresh[len(fresh)-1].block.Number()
+		inNew := make(map[types.Hash]bool)
+		for _, en := range fresh {
+			for _, tx := range en.block.Txs {
+				inNew[tx.Hash()] = true
+			}
+		}
+		for _, h := range c.canonical[min(int(lowest), len(c.canonical)):] {
+			old := c.entries[h]
+			for _, r := range old.receipts {
+				delete(c.byTx, r.TxHash)
+			}
+			for _, tx := range old.block.Txs {
+				if !inNew[tx.Hash()] {
+					dropped = append(dropped, tx)
+				}
+			}
+		}
+		c.canonical = c.canonical[:lowest]
+	}
+	var included []*types.Transaction
+	for i := len(fresh) - 1; i >= 0; i-- {
+		en := fresh[i]
+		c.canonical = append(c.canonical, en.block.Hash())
+		included = append(included, en.block.Txs...)
+		for _, r := range en.receipts {
+			r.CommitTime = now
+			c.byTx[r.TxHash] = r
+		}
+	}
+	if len(included) > 0 && c.cfg.OnInclude != nil {
+		c.cfg.OnInclude(included)
+	}
+	if len(dropped) > 0 && c.cfg.OnReorg != nil {
+		c.cfg.OnReorg(dropped)
+	}
+}
+
+// ProposeBlock builds and executes a candidate block on the current
+// head from the given transactions, including them in order until the
+// block gas limit is reached (as geth's miner does: the limit applies to
+// gas consumed, not to the transactions' declared gas allowances). The
+// returned block has its roots filled; PoW engines still need to seal it.
+func (c *Chain) ProposeBlock(txs []*types.Transaction, proposer types.Address, difficulty, view uint64) (*types.Block, error) {
+	c.mu.RLock()
+	parent := c.head
+	c.mu.RUnlock()
+
+	number := parent.block.Number() + 1
+	db, err := c.cfg.StateFactory(parent.stateRoot)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		included []*types.Transaction
+		gasUsed  uint64
+	)
+	for _, tx := range txs {
+		snap := db.Snapshot()
+		r := c.cfg.Engine.Execute(db, tx, number)
+		if c.cfg.GasLimit > 0 && gasUsed+r.GasUsed > c.cfg.GasLimit {
+			db.Revert(snap)
+			break // block is full; keep FIFO order
+		}
+		gasUsed += r.GasUsed
+		included = append(included, tx)
+	}
+	root, err := db.Commit()
+	if err != nil {
+		return nil, fmt.Errorf("ledger: propose commit: %w", err)
+	}
+	b := &types.Block{
+		Header: types.Header{
+			Number:     number,
+			ParentHash: parent.block.Hash(),
+			Time:       time.Now().UnixNano(),
+			Difficulty: difficulty,
+			Proposer:   proposer,
+			View:       view,
+			GasLimit:   c.cfg.GasLimit,
+			StateRoot:  root,
+			TxRoot:     merkle.TxRoot(included),
+			GasUsed:    gasUsed,
+		},
+		Txs: included,
+	}
+	return b, nil
+}
+
+// State returns a read-only view of the state at the canonical head.
+func (c *Chain) State() (*state.DB, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.headState == nil {
+		db, err := c.cfg.StateFactory(c.head.stateRoot)
+		if err != nil {
+			return nil, err
+		}
+		c.headState = db
+	}
+	return c.headState, nil
+}
+
+// StateAt returns the state as of the canonical block at the given
+// height. Platforms without state versioning return an error for
+// non-head heights.
+func (c *Chain) StateAt(number uint64) (*state.DB, error) {
+	c.mu.RLock()
+	if number >= uint64(len(c.canonical)) {
+		c.mu.RUnlock()
+		return nil, fmt.Errorf("ledger: no block %d", number)
+	}
+	root := c.entries[c.canonical[number]].stateRoot
+	head := c.head.block.Number()
+	c.mu.RUnlock()
+	if !c.cfg.SupportsForks && number != head {
+		return nil, fmt.Errorf("ledger: platform keeps no historical state (asked for block %d, head %d)", number, head)
+	}
+	return c.cfg.StateFactory(root)
+}
+
+// GetBlock returns the canonical block at a height.
+func (c *Chain) GetBlock(number uint64) (*types.Block, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if number >= uint64(len(c.canonical)) {
+		return nil, false
+	}
+	return c.entries[c.canonical[number]].block, true
+}
+
+// BlocksFrom returns up to limit canonical blocks with height > h, in
+// order — the paper's getLatestBlock(h) poll.
+func (c *Chain) BlocksFrom(h uint64, limit int) []*types.Block {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []*types.Block
+	for n := h + 1; n < uint64(len(c.canonical)); n++ {
+		out = append(out, c.entries[c.canonical[n]].block)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// Receipt returns the receipt for a transaction on the canonical chain.
+func (c *Chain) Receipt(txHash types.Hash) (*types.Receipt, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	r, ok := c.byTx[txHash]
+	return r, ok
+}
+
+// Receipts returns the receipts of a canonical block.
+func (c *Chain) Receipts(number uint64) []*types.Receipt {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if number >= uint64(len(c.canonical)) {
+		return nil
+	}
+	return c.entries[c.canonical[number]].receipts
+}
+
+// Height returns the canonical head height.
+func (c *Chain) Height() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.head.block.Number()
+}
+
+// KnownBlocks returns the count of all non-genesis blocks this node has
+// accepted, including abandoned forks; with Height it yields the paper's
+// security metric (total generated vs on the main branch).
+func (c *Chain) KnownBlocks() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.appended
+}
+
+// KnownHashes returns the hashes of every non-genesis block this node
+// has accepted, canonical or not. The fork experiment unions these
+// across nodes to count blocks generated on all branches.
+func (c *Chain) KnownHashes() []types.Hash {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]types.Hash, 0, len(c.entries)-1)
+	genesis := c.canonical[0]
+	for h := range c.entries {
+		if h != genesis {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,72 @@
+// Package lru implements the fixed-capacity least-recently-used cache
+// that the Ethereum preset places in front of its state trie ("Ethereum
+// only caches parts of the state in memory, using LRU for eviction
+// policy").
+package lru
+
+import "container/list"
+
+// Cache maps string keys to byte-slice values with LRU eviction. It is
+// not safe for concurrent use; callers hold their own locks.
+type Cache struct {
+	cap   int
+	ll    *list.List
+	items map[string]*list.Element
+
+	hits, misses uint64
+}
+
+type pair struct {
+	key   string
+	value []byte
+}
+
+// New creates a cache holding at most capacity entries. A non-positive
+// capacity yields a cache that stores nothing.
+func New(capacity int) *Cache {
+	return &Cache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached value and whether it was present.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	if e, ok := c.items[key]; ok {
+		c.ll.MoveToFront(e)
+		c.hits++
+		return e.Value.(*pair).value, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put inserts or refreshes key=value, evicting the LRU entry on overflow.
+func (c *Cache) Put(key string, value []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	if e, ok := c.items[key]; ok {
+		c.ll.MoveToFront(e)
+		e.Value.(*pair).value = value
+		return
+	}
+	e := c.ll.PushFront(&pair{key: key, value: value})
+	c.items[key] = e
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*pair).key)
+	}
+}
+
+// Remove drops key from the cache if present.
+func (c *Cache) Remove(key string) {
+	if e, ok := c.items[key]; ok {
+		c.ll.Remove(e)
+		delete(c.items, key)
+	}
+}
+
+// Len returns the number of resident entries.
+func (c *Cache) Len() int { return c.ll.Len() }
+
+// Stats returns hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }

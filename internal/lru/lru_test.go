@@ -1,0 +1,80 @@
+package lru
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestBasicGetPut(t *testing.T) {
+	c := New(2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("a", []byte("1"))
+	if v, ok := c.Get("a"); !ok || string(v) != "1" {
+		t.Fatalf("get a = %q, %v", v, ok)
+	}
+	c.Put("a", []byte("2"))
+	if v, _ := c.Get("a"); string(v) != "2" {
+		t.Fatal("update failed")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestEvictionOrder(t *testing.T) {
+	c := New(2)
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	c.Get("a") // refresh a; b becomes LRU
+	c.Put("c", []byte("3"))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should have survived")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c should be present")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := New(4)
+	c.Put("a", []byte("1"))
+	c.Remove("a")
+	c.Remove("missing") // no-op
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("removed key still present")
+	}
+}
+
+func TestZeroCapacityStoresNothing(t *testing.T) {
+	c := New(0)
+	c.Put("a", []byte("1"))
+	if c.Len() != 0 {
+		t.Fatal("zero-cap cache stored an entry")
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New(4)
+	c.Put("a", []byte("1"))
+	c.Get("a")
+	c.Get("b")
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d, %d", hits, misses)
+	}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	c := New(16)
+	for i := 0; i < 1000; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte("v"))
+		if c.Len() > 16 {
+			t.Fatalf("cache grew to %d", c.Len())
+		}
+	}
+}

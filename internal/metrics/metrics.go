@@ -1,0 +1,175 @@
+// Package metrics provides the measurement primitives behind the
+// BLOCKBENCH stats collector: counters, latency histograms with
+// percentile and CDF extraction, and wall-clock-bucketed time series for
+// the commit-rate, queue-length and utilization figures.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram accumulates duration samples and reports order statistics.
+// It retains raw samples (experiments are bounded), which keeps
+// percentiles exact rather than approximate.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []float64 // seconds
+	sorted  bool
+}
+
+// Observe records one duration sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	h.samples = append(h.samples, d.Seconds())
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Mean returns the average sample in seconds (0 if empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range h.samples {
+		sum += s
+	}
+	return sum / float64(len(h.samples))
+}
+
+func (h *Histogram) sortLocked() {
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+}
+
+// Quantile returns the q-th (0..1) sample in seconds (0 if empty).
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortLocked()
+	idx := int(math.Ceil(q*float64(len(h.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.samples) {
+		idx = len(h.samples) - 1
+	}
+	return h.samples[idx]
+}
+
+// CDF returns (value, cumulative fraction) pairs at the given points,
+// producing the latency-distribution curves of Fig 17.
+func (h *Histogram) CDF(points int) (values, fractions []float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 || points <= 0 {
+		return nil, nil
+	}
+	h.sortLocked()
+	values = make([]float64, points)
+	fractions = make([]float64, points)
+	for i := 0; i < points; i++ {
+		f := float64(i+1) / float64(points)
+		idx := int(f*float64(len(h.samples))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		values[i] = h.samples[idx]
+		fractions[i] = f
+	}
+	return values, fractions
+}
+
+// TimeSeries buckets values by elapsed wall-clock seconds from a start
+// time, producing the over-time figures (committed tx, queue length,
+// utilization).
+type TimeSeries struct {
+	mu      sync.Mutex
+	start   time.Time
+	bucket  time.Duration
+	values  []float64
+	counts  []int
+	average bool // report bucket mean rather than sum
+}
+
+// NewTimeSeries creates a series with the given bucket width. If average
+// is true, Sample values are averaged per bucket; otherwise summed.
+func NewTimeSeries(start time.Time, bucket time.Duration, average bool) *TimeSeries {
+	return &TimeSeries{start: start, bucket: bucket, average: average}
+}
+
+// Sample records v at time ts.
+func (s *TimeSeries) Sample(ts time.Time, v float64) {
+	idx := int(ts.Sub(s.start) / s.bucket)
+	if idx < 0 {
+		return
+	}
+	s.mu.Lock()
+	for len(s.values) <= idx {
+		s.values = append(s.values, 0)
+		s.counts = append(s.counts, 0)
+	}
+	s.values[idx] += v
+	s.counts[idx]++
+	s.mu.Unlock()
+}
+
+// Values returns one value per bucket.
+func (s *TimeSeries) Values() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]float64, len(s.values))
+	for i, v := range s.values {
+		if s.average && s.counts[i] > 0 {
+			out[i] = v / float64(s.counts[i])
+		} else {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// BucketSeconds returns the bucket width in seconds.
+func (s *TimeSeries) BucketSeconds() float64 { return s.bucket.Seconds() }

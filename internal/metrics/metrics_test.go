@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	c.Add(5)
+	if c.Value() != 8005 {
+		t.Fatal("Add failed")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Quantile(0.5); got < 0.049 || got > 0.051 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := h.Quantile(0.99); got < 0.098 || got > 0.100 {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := h.Quantile(1.0); got != 0.1 {
+		t.Fatalf("p100 = %v", got)
+	}
+	mean := h.Mean()
+	if mean < 0.050 || mean > 0.051 {
+		t.Fatalf("mean = %v", mean)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	v, f := h.CDF(10)
+	if v != nil || f != nil {
+		t.Fatal("empty CDF should be nil")
+	}
+}
+
+func TestHistogramCDFMonotonic(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 500; i++ {
+		h.Observe(time.Duration(i%37) * time.Millisecond)
+	}
+	values, fractions := h.CDF(20)
+	if len(values) != 20 || len(fractions) != 20 {
+		t.Fatalf("lengths: %d, %d", len(values), len(fractions))
+	}
+	for i := 1; i < 20; i++ {
+		if values[i] < values[i-1] {
+			t.Fatal("CDF values not monotone")
+		}
+		if fractions[i] <= fractions[i-1] {
+			t.Fatal("CDF fractions not monotone")
+		}
+	}
+	if fractions[19] != 1.0 {
+		t.Fatalf("last fraction = %v", fractions[19])
+	}
+}
+
+func TestTimeSeriesSumAndAverage(t *testing.T) {
+	start := time.Unix(1000, 0)
+	sum := NewTimeSeries(start, time.Second, false)
+	avg := NewTimeSeries(start, time.Second, true)
+	for i := 0; i < 4; i++ {
+		ts := start.Add(time.Duration(i) * 250 * time.Millisecond)
+		sum.Sample(ts, 2)
+		avg.Sample(ts, float64(i))
+	}
+	sum.Sample(start.Add(1500*time.Millisecond), 7)
+	if got := sum.Values(); got[0] != 8 || got[1] != 7 {
+		t.Fatalf("sum series = %v", got)
+	}
+	if got := avg.Values(); got[0] != 1.5 {
+		t.Fatalf("avg series = %v", got)
+	}
+	// Samples before start are ignored, not panicking.
+	sum.Sample(start.Add(-time.Second), 100)
+	if got := sum.Values(); got[0] != 8 {
+		t.Fatal("negative-time sample corrupted series")
+	}
+	if sum.BucketSeconds() != 1 {
+		t.Fatal("bucket seconds wrong")
+	}
+}

@@ -1,0 +1,50 @@
+package mpt
+
+import (
+	"fmt"
+	"testing"
+
+	"blockbench/internal/kvstore"
+	"blockbench/internal/types"
+)
+
+// The MPT-vs-BMT benchmarks (see also internal/bmt) underlie the IOHeavy
+// data-model comparison: the trie pays multi-node paths per write, the
+// bucket tree one record.
+
+func BenchmarkTriePut(b *testing.B) {
+	tr, _ := New(kvstore.NewMem(), types.ZeroHash)
+	val := make([]byte, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Put([]byte(fmt.Sprintf("key-%09d", i)), val)
+	}
+}
+
+func BenchmarkTrieGet(b *testing.B) {
+	tr, _ := New(kvstore.NewMem(), types.ZeroHash)
+	const keys = 10_000
+	for i := 0; i < keys; i++ {
+		tr.Put([]byte(fmt.Sprintf("key-%09d", i)), make([]byte, 100))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get([]byte(fmt.Sprintf("key-%09d", i%keys)))
+	}
+}
+
+func BenchmarkTrieCommit1k(b *testing.B) {
+	store := kvstore.NewMem()
+	tr, _ := New(store, types.ZeroHash)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for j := 0; j < 1000; j++ {
+			tr.Put([]byte(fmt.Sprintf("key-%d-%d", i, j)), make([]byte, 100))
+		}
+		b.StartTimer()
+		if _, err := tr.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

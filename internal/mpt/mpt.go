@@ -1,0 +1,581 @@
+// Package mpt implements a Patricia-Merkle trie, the authenticated state
+// structure used by Ethereum and Parity ("Ethereum and Parity employ
+// Patricia-Merkle tree that supports efficient update and search
+// operations"). Keys are arbitrary byte strings; the trie is canonical:
+// the root hash depends only on the key/value set, not insertion order.
+//
+// Nodes are content-addressed. Commit persists every dirty node to a
+// backing key-value store under its hash, which (a) lets a trie be
+// reopened at any historical root for block-at-height state queries, and
+// (b) reproduces the write amplification that the paper's IOHeavy
+// experiment observes for Ethereum and Parity relative to Hyperledger's
+// plain key-value layout.
+package mpt
+
+import (
+	"errors"
+	"fmt"
+
+	"blockbench/internal/kvstore"
+	"blockbench/internal/types"
+)
+
+// ErrNotFound reports a missing node during resolution, indicating a
+// truncated or corrupted node store.
+var ErrNotFound = errors.New("mpt: node not found")
+
+type node interface{}
+
+type (
+	// leafNode holds the tail of a key path and its value.
+	leafNode struct {
+		path  []byte // nibbles
+		value []byte
+	}
+	// extNode compresses a shared path segment above a branch.
+	extNode struct {
+		path  []byte // nibbles, non-empty
+		child node
+	}
+	// branchNode fans out on the next nibble; value holds a terminated
+	// key ending exactly here.
+	branchNode struct {
+		children [16]node
+		value    []byte
+	}
+	// hashNode is an unresolved reference to a persisted node.
+	hashNode types.Hash
+)
+
+// NodeCache caches encoded trie nodes by content hash. Because nodes
+// are immutable under their hash, a shared cache is valid across every
+// trie version simultaneously — this is how geth's state cache can serve
+// both head and historical reads.
+type NodeCache interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, value []byte)
+}
+
+// Trie is a mutable Patricia-Merkle trie. It is not safe for concurrent
+// mutation; callers serialize access (block execution is single-threaded
+// on every platform in the paper).
+type Trie struct {
+	store kvstore.Store // nil for a purely in-memory trie
+	cache NodeCache     // nil disables node caching
+	root  node
+
+	// nodesWritten counts persisted node writes, exposing the trie's
+	// write amplification to the IOHeavy experiment.
+	nodesWritten uint64
+}
+
+// New opens a trie over store rooted at root. A zero root yields an empty
+// trie. store may be nil for an in-memory trie (then Commit fails).
+func New(store kvstore.Store, root types.Hash) (*Trie, error) {
+	return NewWithCache(store, root, nil)
+}
+
+// NewWithCache opens a trie with a shared node cache in front of the
+// store.
+func NewWithCache(store kvstore.Store, root types.Hash, cache NodeCache) (*Trie, error) {
+	t := &Trie{store: store, cache: cache}
+	if !root.IsZero() {
+		if store == nil {
+			return nil, errors.New("mpt: non-zero root requires a store")
+		}
+		t.root = hashNode(root)
+	}
+	return t, nil
+}
+
+// keyNibbles expands key bytes into nibbles (hi, lo per byte).
+func keyNibbles(key []byte) []byte {
+	out := make([]byte, len(key)*2)
+	for i, b := range key {
+		out[i*2] = b >> 4
+		out[i*2+1] = b & 0x0f
+	}
+	return out
+}
+
+func commonPrefix(a, b []byte) int {
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] {
+		n++
+	}
+	return n
+}
+
+// Get returns the value stored at key, or nil if absent.
+func (t *Trie) Get(key []byte) ([]byte, error) {
+	v, newRoot, err := t.get(t.root, keyNibbles(key))
+	if err != nil {
+		return nil, err
+	}
+	t.root = newRoot // keep resolved nodes to avoid re-reading the store
+	return v, nil
+}
+
+func (t *Trie) get(n node, path []byte) (value []byte, resolved node, err error) {
+	switch n := n.(type) {
+	case nil:
+		return nil, nil, nil
+	case *leafNode:
+		if len(path) == len(n.path) && commonPrefix(path, n.path) == len(path) {
+			return n.value, n, nil
+		}
+		return nil, n, nil
+	case *extNode:
+		cp := commonPrefix(path, n.path)
+		if cp < len(n.path) {
+			return nil, n, nil
+		}
+		v, child, err := t.get(n.child, path[cp:])
+		if err != nil {
+			return nil, n, err
+		}
+		n.child = child
+		return v, n, nil
+	case *branchNode:
+		if len(path) == 0 {
+			return n.value, n, nil
+		}
+		v, child, err := t.get(n.children[path[0]], path[1:])
+		if err != nil {
+			return nil, n, err
+		}
+		n.children[path[0]] = child
+		return v, n, nil
+	case hashNode:
+		real, err := t.resolve(n)
+		if err != nil {
+			return nil, n, err
+		}
+		return t.get(real, path)
+	default:
+		return nil, n, fmt.Errorf("mpt: unknown node type %T", n)
+	}
+}
+
+// Put inserts or overwrites key=value. Empty values are stored as-is;
+// use Delete to remove a key.
+func (t *Trie) Put(key, value []byte) error {
+	v := make([]byte, len(value))
+	copy(v, value)
+	newRoot, err := t.insert(t.root, keyNibbles(key), v)
+	if err != nil {
+		return err
+	}
+	t.root = newRoot
+	return nil
+}
+
+func (t *Trie) insert(n node, path []byte, value []byte) (node, error) {
+	switch n := n.(type) {
+	case nil:
+		return &leafNode{path: path, value: value}, nil
+	case *leafNode:
+		cp := commonPrefix(path, n.path)
+		if cp == len(path) && cp == len(n.path) {
+			return &leafNode{path: path, value: value}, nil
+		}
+		branch := &branchNode{}
+		if err := branch.attach(n.path[cp:], n.value); err != nil {
+			return nil, err
+		}
+		if err := branch.attach(path[cp:], value); err != nil {
+			return nil, err
+		}
+		if cp > 0 {
+			return &extNode{path: path[:cp], child: branch}, nil
+		}
+		return branch, nil
+	case *extNode:
+		cp := commonPrefix(path, n.path)
+		if cp == len(n.path) {
+			child, err := t.insert(n.child, path[cp:], value)
+			if err != nil {
+				return nil, err
+			}
+			return &extNode{path: n.path, child: child}, nil
+		}
+		// Split the extension at cp.
+		branch := &branchNode{}
+		// Remainder of the extension goes under its first nibble.
+		rem := n.path[cp:]
+		if len(rem) == 1 {
+			branch.children[rem[0]] = n.child
+		} else {
+			branch.children[rem[0]] = &extNode{path: rem[1:], child: n.child}
+		}
+		if err := branch.attach(path[cp:], value); err != nil {
+			return nil, err
+		}
+		if cp > 0 {
+			return &extNode{path: path[:cp], child: branch}, nil
+		}
+		return branch, nil
+	case *branchNode:
+		cp := *n // copy-on-write so committed parents stay valid
+		if len(path) == 0 {
+			cp.value = value
+			return &cp, nil
+		}
+		child, err := t.insert(cp.children[path[0]], path[1:], value)
+		if err != nil {
+			return nil, err
+		}
+		cp.children[path[0]] = child
+		return &cp, nil
+	case hashNode:
+		real, err := t.resolve(n)
+		if err != nil {
+			return nil, err
+		}
+		return t.insert(real, path, value)
+	default:
+		return nil, fmt.Errorf("mpt: unknown node type %T", n)
+	}
+}
+
+// attach places (path, value) directly under a branch node.
+func (b *branchNode) attach(path []byte, value []byte) error {
+	if len(path) == 0 {
+		b.value = value
+		return nil
+	}
+	if len(path) == 1 {
+		b.children[path[0]] = &leafNode{path: nil, value: value}
+		return nil
+	}
+	b.children[path[0]] = &leafNode{path: path[1:], value: value}
+	return nil
+}
+
+// Delete removes key from the trie; deleting an absent key is a no-op.
+func (t *Trie) Delete(key []byte) error {
+	newRoot, _, err := t.remove(t.root, keyNibbles(key))
+	if err != nil {
+		return err
+	}
+	t.root = newRoot
+	return nil
+}
+
+func (t *Trie) remove(n node, path []byte) (node, bool, error) {
+	switch n := n.(type) {
+	case nil:
+		return nil, false, nil
+	case *leafNode:
+		if len(path) == len(n.path) && commonPrefix(path, n.path) == len(path) {
+			return nil, true, nil
+		}
+		return n, false, nil
+	case *extNode:
+		cp := commonPrefix(path, n.path)
+		if cp < len(n.path) {
+			return n, false, nil
+		}
+		child, changed, err := t.remove(n.child, path[cp:])
+		if err != nil || !changed {
+			return n, changed, err
+		}
+		return t.collapseExt(n.path, child)
+	case *branchNode:
+		cp := *n
+		if len(path) == 0 {
+			if cp.value == nil {
+				return n, false, nil
+			}
+			cp.value = nil
+		} else {
+			child, changed, err := t.remove(cp.children[path[0]], path[1:])
+			if err != nil || !changed {
+				return n, changed, err
+			}
+			cp.children[path[0]] = child
+		}
+		collapsed, err := t.collapseBranch(&cp)
+		return collapsed, true, err
+	case hashNode:
+		real, err := t.resolve(n)
+		if err != nil {
+			return n, false, err
+		}
+		return t.remove(real, path)
+	default:
+		return nil, false, fmt.Errorf("mpt: unknown node type %T", n)
+	}
+}
+
+// collapseExt rebuilds an extension over a possibly-degenerate child.
+func (t *Trie) collapseExt(path []byte, child node) (node, bool, error) {
+	switch c := child.(type) {
+	case nil:
+		return nil, true, nil
+	case *leafNode:
+		return &leafNode{path: concat(path, c.path), value: c.value}, true, nil
+	case *extNode:
+		return &extNode{path: concat(path, c.path), child: c.child}, true, nil
+	default:
+		return &extNode{path: path, child: child}, true, nil
+	}
+}
+
+// collapseBranch simplifies a branch left with zero or one descendants.
+func (t *Trie) collapseBranch(b *branchNode) (node, error) {
+	live := -1
+	count := 0
+	for i, c := range b.children {
+		if c != nil {
+			live = i
+			count++
+		}
+	}
+	if count == 0 {
+		if b.value == nil {
+			return nil, nil
+		}
+		return &leafNode{path: nil, value: b.value}, nil
+	}
+	if count == 1 && b.value == nil {
+		child := b.children[live]
+		if hn, ok := child.(hashNode); ok {
+			real, err := t.resolve(hn)
+			if err != nil {
+				return nil, err
+			}
+			child = real
+		}
+		prefix := []byte{byte(live)}
+		switch c := child.(type) {
+		case *leafNode:
+			return &leafNode{path: concat(prefix, c.path), value: c.value}, nil
+		case *extNode:
+			return &extNode{path: concat(prefix, c.path), child: c.child}, nil
+		default:
+			return &extNode{path: prefix, child: child}, nil
+		}
+	}
+	return b, nil
+}
+
+func concat(a, b []byte) []byte {
+	out := make([]byte, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+// encode serializes a node with child references replaced by hashes.
+// persist controls whether resolved children are recursively hashed and
+// (when t.store != nil and write is true) written out.
+func (t *Trie) encode(n node, write bool) ([]byte, types.Hash, error) {
+	e := types.NewEncoder()
+	switch n := n.(type) {
+	case *leafNode:
+		e.Uint32(2)
+		e.Bytes(n.path)
+		e.Bytes(n.value)
+	case *extNode:
+		ch, err := t.hashChild(n.child, write)
+		if err != nil {
+			return nil, types.ZeroHash, err
+		}
+		e.Uint32(1)
+		e.Bytes(n.path)
+		e.Raw(ch[:])
+	case *branchNode:
+		e.Uint32(0)
+		for _, c := range n.children {
+			if c == nil {
+				e.Raw(types.ZeroHash[:])
+				continue
+			}
+			ch, err := t.hashChild(c, write)
+			if err != nil {
+				return nil, types.ZeroHash, err
+			}
+			e.Raw(ch[:])
+		}
+		e.Bool(n.value != nil)
+		if n.value != nil {
+			e.Bytes(n.value)
+		}
+	default:
+		return nil, types.ZeroHash, fmt.Errorf("mpt: cannot encode %T", n)
+	}
+	enc := e.Out()
+	h := types.HashData(enc)
+	if write && t.store != nil {
+		if err := t.store.Put(nodeKey(h), enc); err != nil {
+			return nil, types.ZeroHash, err
+		}
+		t.nodesWritten++
+		if t.cache != nil {
+			t.cache.Put(string(h[:]), enc)
+		}
+	}
+	return enc, h, nil
+}
+
+func (t *Trie) hashChild(n node, write bool) (types.Hash, error) {
+	if hn, ok := n.(hashNode); ok {
+		return types.Hash(hn), nil
+	}
+	_, h, err := t.encode(n, write)
+	return h, err
+}
+
+// Hash computes the root hash without persisting anything.
+func (t *Trie) Hash() (types.Hash, error) {
+	if t.root == nil {
+		return types.ZeroHash, nil
+	}
+	if hn, ok := t.root.(hashNode); ok {
+		return types.Hash(hn), nil
+	}
+	_, h, err := t.encode(t.root, false)
+	return h, err
+}
+
+// Commit persists all nodes reachable from the root and returns the root
+// hash. The trie remains usable afterwards.
+func (t *Trie) Commit() (types.Hash, error) {
+	if t.store == nil {
+		return types.ZeroHash, errors.New("mpt: commit without store")
+	}
+	if t.root == nil {
+		return types.ZeroHash, nil
+	}
+	if hn, ok := t.root.(hashNode); ok {
+		return types.Hash(hn), nil
+	}
+	_, h, err := t.encode(t.root, true)
+	return h, err
+}
+
+// NodesWritten reports how many trie nodes have been persisted, a direct
+// measure of write amplification.
+func (t *Trie) NodesWritten() uint64 { return t.nodesWritten }
+
+func nodeKey(h types.Hash) []byte {
+	k := make([]byte, 0, 2+types.HashSize)
+	k = append(k, 't', ':')
+	return append(k, h[:]...)
+}
+
+func (t *Trie) resolve(hn hashNode) (node, error) {
+	if t.store == nil {
+		return nil, ErrNotFound
+	}
+	h := types.Hash(hn)
+	if t.cache != nil {
+		if enc, ok := t.cache.Get(string(h[:])); ok {
+			return decodeNode(enc)
+		}
+	}
+	enc, ok, err := t.store.Get(nodeKey(h))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, h.Hex())
+	}
+	if t.cache != nil {
+		t.cache.Put(string(h[:]), enc)
+	}
+	return decodeNode(enc)
+}
+
+func decodeNode(enc []byte) (node, error) {
+	d := types.NewDecoder(enc)
+	switch kind := d.Uint32(); kind {
+	case 2:
+		n := &leafNode{path: d.Bytes(), value: d.Bytes()}
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		return n, nil
+	case 1:
+		n := &extNode{path: d.Bytes()}
+		var h types.Hash
+		copy(h[:], d.Raw(types.HashSize))
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		n.child = hashNode(h)
+		return n, nil
+	case 0:
+		n := &branchNode{}
+		for i := 0; i < 16; i++ {
+			var h types.Hash
+			copy(h[:], d.Raw(types.HashSize))
+			if !h.IsZero() {
+				n.children[i] = hashNode(h)
+			}
+		}
+		if d.Bool() {
+			n.value = d.Bytes()
+		}
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		return n, nil
+	default:
+		return nil, fmt.Errorf("mpt: bad node kind %d", kind)
+	}
+}
+
+// Iterate walks all key/value pairs in nibble order. Keys are
+// reconstructed from paths; only byte-aligned keys (even nibble count)
+// are produced, which is all this repository ever stores.
+func (t *Trie) Iterate(fn func(key, value []byte) bool) error {
+	_, err := t.walk(t.root, nil, fn)
+	return err
+}
+
+func (t *Trie) walk(n node, prefix []byte, fn func(k, v []byte) bool) (bool, error) {
+	switch n := n.(type) {
+	case nil:
+		return true, nil
+	case *leafNode:
+		return emit(concat(prefix, n.path), n.value, fn), nil
+	case *extNode:
+		return t.walk(n.child, concat(prefix, n.path), fn)
+	case *branchNode:
+		if n.value != nil {
+			if !emit(prefix, n.value, fn) {
+				return false, nil
+			}
+		}
+		for i, c := range n.children {
+			if c == nil {
+				continue
+			}
+			cont, err := t.walk(c, concat(prefix, []byte{byte(i)}), fn)
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+		return true, nil
+	case hashNode:
+		real, err := t.resolve(n)
+		if err != nil {
+			return false, err
+		}
+		return t.walk(real, prefix, fn)
+	default:
+		return false, fmt.Errorf("mpt: unknown node type %T", n)
+	}
+}
+
+func emit(nibbles []byte, value []byte, fn func(k, v []byte) bool) bool {
+	if len(nibbles)%2 != 0 {
+		return true // non-byte-aligned key: skip
+	}
+	key := make([]byte, len(nibbles)/2)
+	for i := range key {
+		key[i] = nibbles[i*2]<<4 | nibbles[i*2+1]
+	}
+	return fn(key, value)
+}

@@ -1,0 +1,130 @@
+package mpt
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"blockbench/internal/kvstore"
+	"blockbench/internal/types"
+)
+
+// TestQuickCanonicalRoot: any random key/value set yields the same root
+// regardless of insertion order — the property that makes state roots
+// comparable across nodes that received transactions in gossip order.
+func TestQuickCanonicalRoot(t *testing.T) {
+	f := func(keys [][]byte, vals [][]byte, seed int64) bool {
+		if len(keys) == 0 || len(vals) == 0 {
+			return true
+		}
+		// Normalize into a deduplicated map (later writes win, as in a
+		// real state update batch).
+		m := map[string][]byte{}
+		for i, k := range keys {
+			if len(k) == 0 {
+				continue
+			}
+			m[string(k)] = vals[i%len(vals)]
+		}
+		t1, _ := New(kvstore.NewMem(), types.ZeroHash)
+		for k, v := range m { // map order: already random
+			if err := t1.Put([]byte(k), v); err != nil {
+				return false
+			}
+		}
+		t2, _ := New(kvstore.NewMem(), types.ZeroHash)
+		order := make([]string, 0, len(m))
+		for k := range m {
+			order = append(order, k)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, k := range order {
+			if err := t2.Put([]byte(k), m[k]); err != nil {
+				return false
+			}
+		}
+		h1, err1 := t1.Hash()
+		h2, err2 := t2.Hash()
+		return err1 == nil && err2 == nil && h1 == h2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCommitRoundTrip: any committed set reads back identically
+// from a reopened trie.
+func TestQuickCommitRoundTrip(t *testing.T) {
+	f := func(keys [][]byte, val []byte) bool {
+		store := kvstore.NewMem()
+		tr, _ := New(store, types.ZeroHash)
+		m := map[string][]byte{}
+		for i, k := range keys {
+			if len(k) == 0 || len(k) > 64 {
+				continue
+			}
+			v := append([]byte{byte(i)}, val...)
+			m[string(k)] = v
+			if err := tr.Put(k, v); err != nil {
+				return false
+			}
+		}
+		root, err := tr.Commit()
+		if err != nil {
+			return false
+		}
+		re, err := New(store, root)
+		if err != nil {
+			return false
+		}
+		for k, v := range m {
+			got, err := re.Get([]byte(k))
+			if err != nil || !bytes.Equal(got, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeleteInverse: Put followed by Delete of fresh keys restores
+// the previous root exactly.
+func TestQuickDeleteInverse(t *testing.T) {
+	f := func(base [][]byte, extra [][]byte) bool {
+		tr, _ := New(kvstore.NewMem(), types.ZeroHash)
+		seen := map[string]bool{}
+		for _, k := range base {
+			if len(k) == 0 {
+				continue
+			}
+			seen[string(k)] = true
+			tr.Put(k, []byte("base"))
+		}
+		before, err := tr.Hash()
+		if err != nil {
+			return false
+		}
+		var added [][]byte
+		for _, k := range extra {
+			if len(k) == 0 || seen[string(k)] {
+				continue
+			}
+			seen[string(k)] = true
+			added = append(added, k)
+			tr.Put(k, []byte("extra"))
+		}
+		for _, k := range added {
+			tr.Delete(k)
+		}
+		after, err := tr.Hash()
+		return err == nil && after == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,335 @@
+// Package node assembles a full validating blockchain node: network
+// endpoint, transaction pool, ledger, execution engine and consensus
+// engine, plus the RPC surface that BLOCKBENCH clients drive
+// (send-transaction, block-range polling, state and historical queries).
+package node
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blockbench/internal/consensus"
+	"blockbench/internal/crypto"
+	"blockbench/internal/exec"
+	"blockbench/internal/ledger"
+	"blockbench/internal/simnet"
+	"blockbench/internal/txpool"
+	"blockbench/internal/types"
+)
+
+// Config assembles one node.
+type Config struct {
+	ID    simnet.NodeID
+	Key   *crypto.Key
+	Net   *simnet.Network
+	Chain *ledger.Chain
+	Pool  *txpool.Pool
+	Exec  exec.Engine
+	// NewConsensus builds the consensus engine once the endpoint exists.
+	NewConsensus func(consensus.Context) consensus.Engine
+	Peers        []simnet.NodeID
+
+	// RPCLatency models the client↔server network round trip added to
+	// every RPC (the analytics experiments are dominated by it).
+	RPCLatency time.Duration
+	// ConfirmationDepth hides the newest blocks from BlocksFrom until
+	// they are buried this deep (the paper's confirmationLength for
+	// Ethereum and Parity; Hyperledger confirms immediately, depth 0).
+	ConfirmationDepth uint64
+
+	// ServerSigns moves transaction signing into the server's serial
+	// ingestion path (Parity signs on behalf of unlocked accounts, so
+	// the server holds the account keys). IngestCost is the additional
+	// per-transaction processing time of that path — together they are
+	// the bottleneck the paper identified ("the bottleneck in Parity is
+	// caused by transaction signing").
+	ServerSigns bool
+	IngestCost  time.Duration
+	IngestQueue int
+	// Keyring holds the account keys a ServerSigns node signs with.
+	Keyring map[types.Address]*crypto.Key
+
+	// VerifyIngress validates transaction signatures as they arrive
+	// (client RPC and gossip) on the node's single dispatch thread, as
+	// Fabric does. Combined with bounded inboxes, this is the processing
+	// load behind the paper's Hyperledger collapse at scale. Requires
+	// Registry.
+	VerifyIngress bool
+	Registry      *crypto.Registry
+}
+
+// ErrStopped is returned by RPCs on a stopped node.
+var ErrStopped = errors.New("node: stopped")
+
+// ErrBusy is returned when the server-side ingestion queue is full.
+var ErrBusy = errors.New("node: ingestion queue full")
+
+// Node is a running blockchain server.
+type Node struct {
+	cfg  Config
+	ep   *simnet.Endpoint
+	cons consensus.Engine
+
+	ingest  chan *types.Transaction
+	stop    chan struct{}
+	done    sync.WaitGroup
+	started atomic.Bool
+	stopped atomic.Bool
+
+	rpcs     atomic.Uint64
+	txsTaken atomic.Uint64
+}
+
+// New wires a node together (does not start goroutines).
+func New(cfg Config) *Node {
+	ep := cfg.Net.Join(cfg.ID)
+	n := &Node{
+		cfg:  cfg,
+		ep:   ep,
+		stop: make(chan struct{}),
+	}
+	ctx := consensus.Context{
+		Self:     cfg.ID,
+		Endpoint: ep,
+		Chain:    cfg.Chain,
+		Pool:     cfg.Pool,
+		Address:  cfg.Key.Address(),
+		Peers:    cfg.Peers,
+	}
+	n.cons = cfg.NewConsensus(ctx)
+	if cfg.ServerSigns {
+		q := cfg.IngestQueue
+		if q <= 0 {
+			q = 512
+		}
+		n.ingest = make(chan *types.Transaction, q)
+	}
+	return n
+}
+
+// Start launches the node's goroutines.
+func (n *Node) Start() {
+	if !n.started.CompareAndSwap(false, true) {
+		return
+	}
+	n.done.Add(1)
+	go n.inboxLoop()
+	if n.ingest != nil {
+		n.done.Add(1)
+		go n.ingestLoop()
+	}
+	n.cons.Start()
+}
+
+// Stop halts the node.
+func (n *Node) Stop() {
+	if !n.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	n.cons.Stop()
+	close(n.stop)
+	n.done.Wait()
+}
+
+// ID returns the node's network identity.
+func (n *Node) ID() simnet.NodeID { return n.cfg.ID }
+
+// Chain exposes the node's ledger (used by experiments for fork counts).
+func (n *Node) Chain() *ledger.Chain { return n.cfg.Chain }
+
+// Pool exposes the node's pending pool.
+func (n *Node) Pool() *txpool.Pool { return n.cfg.Pool }
+
+// Consensus exposes the consensus engine for protocol-level metrics.
+func (n *Node) Consensus() consensus.Engine { return n.cons }
+
+// Endpoint exposes network counters.
+func (n *Node) Endpoint() *simnet.Endpoint { return n.ep }
+
+// inboxLoop is the node's single message-processing thread. One thread
+// per node matches the paper's observation that servers saturate on
+// message processing under load.
+func (n *Node) inboxLoop() {
+	defer n.done.Done()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case msg := <-n.ep.Inbox:
+			n.dispatch(msg)
+		}
+	}
+}
+
+func (n *Node) dispatch(msg simnet.Message) {
+	if msg.Type == consensus.MsgTx {
+		tx, ok := msg.Payload.(*types.Transaction)
+		if !ok || msg.Corrupt {
+			return
+		}
+		if n.cfg.VerifyIngress && n.cfg.Registry != nil && !n.cfg.Registry.VerifyTx(tx) {
+			return
+		}
+		n.cfg.Pool.Add(tx)
+		return
+	}
+	n.cons.Handle(msg)
+}
+
+// ingestLoop serializes server-side transaction processing (Parity).
+func (n *Node) ingestLoop() {
+	defer n.done.Done()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case tx := <-n.ingest:
+			// Signing plus queue management on a single thread: the
+			// constant per-transaction cost that caps Parity throughput.
+			key := n.cfg.Keyring[tx.From]
+			if key == nil {
+				continue // unknown account: cannot sign
+			}
+			if err := crypto.SignTx(tx, key); err != nil {
+				continue
+			}
+			time.Sleep(n.cfg.IngestCost)
+			n.admit(tx)
+		}
+	}
+}
+
+func (n *Node) admit(tx *types.Transaction) {
+	if n.cfg.Pool.Add(tx) {
+		n.txsTaken.Add(1)
+		n.ep.Broadcast(consensus.MsgTx, tx)
+	}
+}
+
+func (n *Node) rpc() error {
+	if n.stopped.Load() || n.cfg.Net.Crashed(n.cfg.ID) {
+		return ErrStopped
+	}
+	n.rpcs.Add(1)
+	if n.cfg.RPCLatency > 0 {
+		time.Sleep(n.cfg.RPCLatency)
+	}
+	return nil
+}
+
+// SendTransaction is the asynchronous submit RPC: it enqueues the
+// transaction and returns its ID; clients poll BlocksFrom for
+// confirmation (the paper's asynchronous-driver pattern).
+func (n *Node) SendTransaction(tx *types.Transaction) (types.Hash, error) {
+	if err := n.rpc(); err != nil {
+		return types.ZeroHash, err
+	}
+	if n.ingest != nil {
+		select {
+		case n.ingest <- tx:
+			return tx.Hash(), nil
+		default:
+			return types.ZeroHash, ErrBusy
+		}
+	}
+	n.admit(tx)
+	return tx.Hash(), nil
+}
+
+// BlockInfo is the confirmed-block summary returned to pollers.
+type BlockInfo struct {
+	Number uint64
+	Hash   types.Hash
+	TxIDs  []types.Hash
+}
+
+// BlocksFrom returns confirmed canonical blocks above height h — the
+// connector's getLatestBlock(h).
+func (n *Node) BlocksFrom(h uint64) ([]BlockInfo, error) {
+	if err := n.rpc(); err != nil {
+		return nil, err
+	}
+	height := n.cfg.Chain.Height()
+	if height < n.cfg.ConfirmationDepth {
+		return nil, nil
+	}
+	confirmed := height - n.cfg.ConfirmationDepth
+	var out []BlockInfo
+	for _, b := range n.cfg.Chain.BlocksFrom(h, 0) {
+		if b.Number() > confirmed {
+			break
+		}
+		info := BlockInfo{Number: b.Number(), Hash: b.Hash()}
+		for _, tx := range b.Txs {
+			info.TxIDs = append(info.TxIDs, tx.Hash())
+		}
+		out = append(out, info)
+	}
+	return out, nil
+}
+
+// Height returns the confirmed chain height.
+func (n *Node) Height() (uint64, error) {
+	if err := n.rpc(); err != nil {
+		return 0, err
+	}
+	h := n.cfg.Chain.Height()
+	if h < n.cfg.ConfirmationDepth {
+		return 0, nil
+	}
+	return h - n.cfg.ConfirmationDepth, nil
+}
+
+// Block returns the full canonical block at a height (analytics Q1 reads
+// transaction lists through this).
+func (n *Node) Block(number uint64) (*types.Block, error) {
+	if err := n.rpc(); err != nil {
+		return nil, err
+	}
+	b, ok := n.cfg.Chain.GetBlock(number)
+	if !ok {
+		return nil, fmt.Errorf("node: no block %d", number)
+	}
+	return b, nil
+}
+
+// Query runs a read-only contract method against current state.
+func (n *Node) Query(contract, method string, args [][]byte) ([]byte, error) {
+	if err := n.rpc(); err != nil {
+		return nil, err
+	}
+	db, err := n.cfg.Chain.State()
+	if err != nil {
+		return nil, err
+	}
+	return n.cfg.Exec.Query(db, contract, method, args)
+}
+
+// BalanceAt returns an account balance at a block height (Ethereum's
+// getBalance(account, block) JSON-RPC; one version per round trip, which
+// is why analytics Q2 needs one RPC per block on these platforms).
+func (n *Node) BalanceAt(addr types.Address, number uint64) (uint64, error) {
+	if err := n.rpc(); err != nil {
+		return 0, err
+	}
+	db, err := n.cfg.Chain.StateAt(number)
+	if err != nil {
+		return 0, err
+	}
+	return db.GetBalance(addr), nil
+}
+
+// Receipt looks up a committed transaction's receipt.
+func (n *Node) Receipt(txHash types.Hash) (*types.Receipt, bool, error) {
+	if err := n.rpc(); err != nil {
+		return nil, false, err
+	}
+	r, ok := n.cfg.Chain.Receipt(txHash)
+	return r, ok, nil
+}
+
+// RPCCount reports how many RPCs this node served.
+func (n *Node) RPCCount() uint64 { return n.rpcs.Load() }

@@ -1,0 +1,479 @@
+// Package platform wires the substrate packages into the three blockchain
+// presets the paper evaluates — Ethereum (geth v1.4.18: PoW, Patricia-
+// Merkle trie over LevelDB with an LRU state cache, EVM), Parity (v1.6.0:
+// Proof-of-Authority, all state pinned in memory, EVM, server-side
+// transaction signing) and Hyperledger Fabric (v0.6.0-preview: PBFT,
+// Bucket-Merkle tree over RocksDB, native chaincode) — and runs N-node
+// clusters of them over the simulated network.
+package platform
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"blockbench/internal/bmt"
+	"blockbench/internal/consensus"
+	"blockbench/internal/consensus/pbft"
+	"blockbench/internal/consensus/poa"
+	"blockbench/internal/consensus/pow"
+	"blockbench/internal/contracts"
+	"blockbench/internal/crypto"
+	"blockbench/internal/exec"
+	"blockbench/internal/kvstore"
+	"blockbench/internal/ledger"
+	"blockbench/internal/node"
+	"blockbench/internal/simnet"
+	"blockbench/internal/state"
+	"blockbench/internal/txpool"
+	"blockbench/internal/types"
+)
+
+// Kind selects a platform preset.
+type Kind string
+
+// The three systems under study.
+const (
+	Ethereum    Kind = "ethereum"
+	Parity      Kind = "parity"
+	Hyperledger Kind = "hyperledger"
+)
+
+// Kinds lists all presets.
+func Kinds() []Kind { return []Kind{Ethereum, Parity, Hyperledger} }
+
+// Config sizes and tunes a cluster. Zero values take preset defaults.
+// All time defaults are at the repository's 25x scale relative to the
+// paper's testbed (see DESIGN.md).
+type Config struct {
+	Kind      Kind
+	Nodes     int
+	Contracts []string
+	// ClientKeys are the client accounts: registered for signature
+	// verification, funded at genesis, and (on Parity) installed in the
+	// server keyring.
+	ClientKeys     []*crypto.Key
+	GenesisBalance uint64
+	Net            simnet.Config
+	// DataDir switches state storage from in-memory maps to the LSM
+	// engine, one directory per node (IOHeavy disk-usage runs).
+	DataDir string
+
+	// Ethereum knobs.
+	BlockInterval time.Duration // target PoW interval (default 100ms)
+	GasLimit      uint64        // block gas limit (default 650,000)
+	CacheEntries  int           // LRU state cache entries (default 4096)
+	DisableMining bool          // turn off PoW block production
+
+	// Parity knobs.
+	StepDuration time.Duration // PoA step (default 40ms)
+	IngestCost   time.Duration // per-tx server processing (default 180ms)
+	ParityMemCap int64         // state memory cap (default 256 MiB)
+
+	// Hyperledger knobs.
+	BatchSize    int           // txs per PBFT batch (default 20)
+	BatchTimeout time.Duration // partial-batch timer (default 10ms)
+	ViewTimeout  time.Duration // view-change timer (default 400ms)
+
+	// Shared knobs.
+	MaxTxsPerBlock    int
+	RPCLatency        time.Duration // default 200µs
+	ConfirmationDepth *uint64       // override preset confirmation depth
+	MemModel          *exec.MemModel
+}
+
+func (c *Config) fill() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("platform: cluster needs at least 1 node")
+	}
+	if c.Net.InboxSize == 0 {
+		c.Net = simnet.DefaultConfig()
+	}
+	if c.BlockInterval <= 0 {
+		c.BlockInterval = 100 * time.Millisecond
+	}
+	if c.GasLimit == 0 {
+		c.GasLimit = 650_000
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 4096
+	}
+	if c.StepDuration <= 0 {
+		c.StepDuration = 40 * time.Millisecond
+	}
+	if c.IngestCost <= 0 {
+		c.IngestCost = 180 * time.Millisecond
+	}
+	if c.ParityMemCap == 0 {
+		c.ParityMemCap = 256 << 20
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 20
+	}
+	if c.BatchTimeout <= 0 {
+		c.BatchTimeout = 15 * time.Millisecond
+	}
+	if c.ViewTimeout <= 0 {
+		c.ViewTimeout = 400 * time.Millisecond
+	}
+	if c.RPCLatency == 0 {
+		c.RPCLatency = 200 * time.Microsecond
+	}
+	if len(c.Contracts) == 0 {
+		c.Contracts = []string{"ycsb", "smallbank", "donothing"}
+	}
+	return nil
+}
+
+// defaultMemModel returns the per-platform simulated memory model fitted
+// to the paper's CPUHeavy measurements at the repository's 1/100 input
+// scale (see EXPERIMENTS.md).
+func defaultMemModel(kind Kind) exec.MemModel {
+	switch kind {
+	case Ethereum:
+		// geth: ~2.1 KB resident per sorted element (22.8 GB at 10M).
+		return exec.MemModel{Base: 20 << 20, Factor: 262, Cap: 320 << 20}
+	case Parity:
+		// Parity: ~135 B per element (13 GB at 100M).
+		return exec.MemModel{Base: 6 << 20, Factor: 17, Cap: 320 << 20}
+	default:
+		return exec.MemModel{}
+	}
+}
+
+// Cluster is a running N-node deployment of one platform.
+type Cluster struct {
+	Kind  Kind
+	Net   *simnet.Network
+	nodes []*node.Node
+	chains []*ledger.Chain
+	stores []kvstore.Store
+	engines []exec.Engine
+	nodeKeys []*crypto.Key
+	cfg    Config
+}
+
+// New builds (but does not start) a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{Kind: cfg.Kind, cfg: cfg}
+	c.Net = simnet.New(cfg.Net)
+
+	peers := make([]simnet.NodeID, cfg.Nodes)
+	for i := range peers {
+		peers[i] = simnet.NodeID(i)
+	}
+	// Node identities are deterministic so repeated runs are comparable.
+	authorities := make([]types.Address, cfg.Nodes)
+	c.nodeKeys = make([]*crypto.Key, cfg.Nodes)
+	for i := range c.nodeKeys {
+		c.nodeKeys[i] = crypto.DeterministicKey(uint64(1000 + i))
+		authorities[i] = c.nodeKeys[i].Address()
+	}
+
+	alloc := make(map[types.Address]uint64, len(cfg.ClientKeys))
+	keyring := make(map[types.Address]*crypto.Key, len(cfg.ClientKeys))
+	for _, k := range cfg.ClientKeys {
+		alloc[k.Address()] = cfg.GenesisBalance
+		keyring[k.Address()] = k
+	}
+
+	for i := 0; i < cfg.Nodes; i++ {
+		n, err := c.buildNode(i, peers, authorities, alloc, keyring)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.nodes = append(c.nodes, n)
+	}
+	return c, nil
+}
+
+func (c *Cluster) openStore(i int) (kvstore.Store, error) {
+	cfg := c.cfg
+	if cfg.Kind == Parity {
+		// "In Parity, the entire block content is kept in memory" — a
+		// capped in-memory store; exhausting it is the paper's OOM 'X'.
+		s := kvstore.NewMemCapped(cfg.ParityMemCap)
+		c.stores = append(c.stores, s)
+		return s, nil
+	}
+	if cfg.DataDir == "" {
+		s := kvstore.NewMem()
+		c.stores = append(c.stores, s)
+		return s, nil
+	}
+	s, err := kvstore.OpenLSM(filepath.Join(cfg.DataDir, fmt.Sprintf("node-%d", i)), kvstore.LSMOptions{})
+	if err != nil {
+		return nil, err
+	}
+	c.stores = append(c.stores, s)
+	return s, nil
+}
+
+func (c *Cluster) buildNode(i int, peers []simnet.NodeID, authorities []types.Address,
+	alloc map[types.Address]uint64, keyring map[types.Address]*crypto.Key) (*node.Node, error) {
+
+	cfg := c.cfg
+	store, err := c.openStore(i)
+	if err != nil {
+		return nil, err
+	}
+
+	// Execution engine.
+	var eng exec.Engine
+	mem := defaultMemModel(cfg.Kind)
+	if cfg.MemModel != nil {
+		mem = *cfg.MemModel
+	}
+	if cfg.Kind == Hyperledger {
+		eng, err = exec.NewNativeEngine(cfg.Contracts...)
+	} else {
+		// Chaincode-only contracts (VersionKVStore) have no EVM build;
+		// deploy only what the platform can run, as in the paper.
+		var evmNames []string
+		for _, name := range cfg.Contracts {
+			spec, lerr := contracts.Lookup(name)
+			if lerr != nil {
+				return nil, lerr
+			}
+			if spec.EVM != nil {
+				evmNames = append(evmNames, name)
+			}
+		}
+		eng, err = exec.NewEVMEngine(mem, evmNames...)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c.engines = append(c.engines, eng)
+
+	// State factory.
+	var factory func(root types.Hash) (*state.DB, error)
+	switch cfg.Kind {
+	case Ethereum:
+		// One long-lived LRU per node, shared across block executions —
+		// geth's partial in-memory state ("using LRU for eviction").
+		var cache *state.SharedCache
+		if cfg.CacheEntries > 0 {
+			cache = state.NewSharedCache(cfg.CacheEntries)
+		}
+		factory = func(root types.Hash) (*state.DB, error) {
+			b, err := state.NewTrieBackendShared(store, root, cache)
+			if err != nil {
+				return nil, err
+			}
+			return state.NewDB(b), nil
+		}
+	case Parity:
+		factory = func(root types.Hash) (*state.DB, error) {
+			b, err := state.NewTrieBackend(store, root, 0)
+			if err != nil {
+				return nil, err
+			}
+			return state.NewDB(b), nil
+		}
+	case Hyperledger:
+		// Bucket tree keeps no versions: one long-lived DB per node.
+		b, err := state.NewBucketBackend(store, bmt.Options{})
+		if err != nil {
+			return nil, err
+		}
+		db := state.NewDB(b)
+		factory = func(types.Hash) (*state.DB, error) { return db, nil }
+	default:
+		return nil, fmt.Errorf("platform: unknown kind %q", cfg.Kind)
+	}
+
+	// Every participant is authenticated in a permissioned deployment.
+	reg := crypto.NewRegistry()
+	for _, k := range cfg.ClientKeys {
+		reg.Add(k)
+	}
+	for _, k := range c.nodeKeys {
+		reg.Add(k)
+	}
+
+	pool := txpool.New(1 << 20)
+	// Only Ethereum bounds blocks by gas; Parity's block size is set by
+	// stepDuration and Hyperledger's by the PBFT batch size.
+	ledgerGas := uint64(0)
+	if cfg.Kind == Ethereum {
+		ledgerGas = cfg.GasLimit
+	}
+	chain, err := ledger.New(ledger.Config{
+		Engine:        eng,
+		StateFactory:  factory,
+		Registry:      reg,
+		GasLimit:      ledgerGas,
+		SupportsForks: cfg.Kind != Hyperledger,
+		GenesisAlloc:  alloc,
+		OnInclude:     pool.MarkIncluded,
+		OnReorg:       pool.Reinject,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.chains = append(c.chains, chain)
+
+	newCons := func(ctx consensus.Context) consensus.Engine {
+		switch cfg.Kind {
+		case Ethereum:
+			opts := pow.DefaultOptions()
+			opts.TargetInterval = cfg.BlockInterval
+			opts.GasLimit = cfg.GasLimit
+			opts.MaxTxsPerBlock = cfg.MaxTxsPerBlock
+			opts.Mine = !cfg.DisableMining
+			return pow.New(ctx, opts)
+		case Parity:
+			return poa.New(ctx, poa.Options{
+				StepDuration:   cfg.StepDuration,
+				Authorities:    authorities,
+				MaxTxsPerBlock: cfg.MaxTxsPerBlock,
+			})
+		default:
+			opts := pbft.DefaultOptions()
+			opts.BatchSize = cfg.BatchSize
+			opts.BatchTimeout = cfg.BatchTimeout
+			opts.ViewTimeout = cfg.ViewTimeout
+			return pbft.New(ctx, opts)
+		}
+	}
+
+	depth := uint64(0)
+	switch cfg.Kind {
+	case Ethereum:
+		depth = 2 // confirmationLength: 5s paper / 2.5s blocks, scaled
+	case Parity:
+		depth = 5 // 5s / 1s steps, scaled
+	}
+	if cfg.ConfirmationDepth != nil {
+		depth = *cfg.ConfirmationDepth
+	}
+
+	ncfg := node.Config{
+		ID:                simnet.NodeID(i),
+		Key:               c.nodeKeys[i],
+		Net:               c.Net,
+		Chain:             chain,
+		Pool:              pool,
+		Exec:              eng,
+		NewConsensus:      newCons,
+		Peers:             peers,
+		RPCLatency:        cfg.RPCLatency,
+		ConfirmationDepth: depth,
+	}
+	if cfg.Kind == Parity {
+		ncfg.ServerSigns = true
+		ncfg.IngestCost = cfg.IngestCost
+		ncfg.Keyring = keyring
+	}
+	if cfg.Kind == Hyperledger {
+		// Fabric validates transactions as they arrive; the work lands
+		// on the node's message-processing thread.
+		ncfg.VerifyIngress = true
+		ncfg.Registry = reg
+	}
+	return node.New(ncfg), nil
+}
+
+// Start launches every node.
+func (c *Cluster) Start() {
+	for _, n := range c.nodes {
+		n.Start()
+	}
+}
+
+// Stop halts nodes and the network.
+func (c *Cluster) Stop() {
+	for _, n := range c.nodes {
+		n.Stop()
+	}
+	c.Net.Close()
+}
+
+// Close releases storage (after Stop).
+func (c *Cluster) Close() {
+	for _, s := range c.stores {
+		s.Close()
+	}
+}
+
+// Size returns the number of nodes.
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// Node returns the i-th node.
+func (c *Cluster) Node(i int) *node.Node { return c.nodes[i] }
+
+// Chain returns the i-th node's ledger.
+func (c *Cluster) Chain(i int) *ledger.Chain { return c.chains[i] }
+
+// Engine returns the i-th node's execution engine.
+func (c *Cluster) Engine(i int) exec.Engine { return c.engines[i] }
+
+// Store returns the i-th node's storage engine.
+func (c *Cluster) Store(i int) kvstore.Store { return c.stores[i] }
+
+// Crash stops message delivery to and from node i (crash failure mode).
+func (c *Cluster) Crash(i int) { c.Net.Crash(simnet.NodeID(i)) }
+
+// Recover heals a crashed node's connectivity.
+func (c *Cluster) Recover(i int) { c.Net.Recover(simnet.NodeID(i)) }
+
+// PartitionHalves splits the cluster into [0, k) and [k, N) — the
+// double-spending attack simulation from §3.3.
+func (c *Cluster) PartitionHalves(k int) {
+	var a []simnet.NodeID
+	for i := 0; i < k; i++ {
+		a = append(a, simnet.NodeID(i))
+	}
+	c.Net.Partition(a)
+}
+
+// Heal removes a partition.
+func (c *Cluster) Heal() { c.Net.Heal() }
+
+// ForkStats reports the security metric of §3.3: the number of blocks
+// generated on any branch (unioned across nodes) versus the length of
+// the agreed main chain.
+func (c *Cluster) ForkStats() (total, mainChain uint64) {
+	seen := make(map[types.Hash]struct{})
+	for _, ch := range c.chains {
+		for _, h := range ch.KnownHashes() {
+			seen[h] = struct{}{}
+		}
+		if ht := ch.Height(); ht > mainChain {
+			mainChain = ht
+		}
+	}
+	return uint64(len(seen)), mainChain
+}
+
+// Preload force-appends blocks built from the given transaction batches
+// to every node, bypassing consensus — used to seed the analytics
+// workload's historical chain quickly ("we pre-loaded them with 100,000
+// blocks"). Transactions must already be signed. Roots are left zero so
+// every chain executes and commits the batch exactly once on Append
+// (platforms without state versioning share one live state database).
+func (c *Cluster) Preload(batches [][]*types.Transaction) error {
+	for _, txs := range batches {
+		head := c.chains[0].Head()
+		b := &types.Block{
+			Header: types.Header{
+				Number:     head.Number() + 1,
+				ParentHash: head.Hash(),
+				Time:       int64(head.Number() + 1),
+				Difficulty: 1,
+			},
+			Txs: txs,
+		}
+		for _, ch := range c.chains {
+			if err := ch.Append(b); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,337 @@
+// Package simnet provides the simulated cluster network that every
+// blockchain node in this repository communicates over. It models a
+// commodity LAN (the paper's 48-node, 1 Gb switch testbed): per-message
+// propagation latency, transmission time proportional to message size,
+// bounded per-node inboxes, and byte/message accounting for the network
+// utilization figures.
+//
+// It also implements the paper's fault and attack injection (§3.3):
+// crash failure, arbitrary message delay, random response (message
+// corruption), and network partition used by the double-spending /
+// selfish-mining attack simulation.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NodeID identifies an endpoint on the network.
+type NodeID int
+
+// Message is a single network delivery. Payload is passed by reference
+// (the network is in-process); Size carries the encoded wire size used
+// for transmission-time and utilization accounting. Corrupt marks a
+// message damaged by the random-response fault injector — receivers must
+// treat it as failing signature/digest verification.
+type Message struct {
+	From    NodeID
+	To      NodeID
+	Type    string
+	Payload any
+	Size    int
+	Corrupt bool
+}
+
+// Sizer lets payloads report their encoded size for accounting.
+type Sizer interface{ WireSize() int }
+
+// Config controls link characteristics.
+type Config struct {
+	// BaseLatency and Jitter model propagation delay: each message waits
+	// BaseLatency + U[0,Jitter) before delivery.
+	BaseLatency time.Duration
+	Jitter      time.Duration
+	// Bandwidth in bytes/second models transmission time (size/bandwidth
+	// added to the delay). Zero disables transmission delay.
+	Bandwidth int64
+	// InboxSize bounds each endpoint's receive queue. When an inbox is
+	// full the message is dropped — this is the mechanism behind the
+	// Hyperledger view-divergence collapse the paper observed at >16
+	// nodes ("consensus messages are rejected ... on account of the
+	// message channel being full").
+	InboxSize int
+	// Seed makes fault injection reproducible.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's testbed at the repository's 25x time
+// scale: sub-millisecond LAN latency and a 1 Gb/s link.
+func DefaultConfig() Config {
+	return Config{
+		BaseLatency: 200 * time.Microsecond,
+		Jitter:      300 * time.Microsecond,
+		Bandwidth:   125_000_000, // 1 Gb/s
+		InboxSize:   4096,
+		Seed:        1,
+	}
+}
+
+// Stats is a snapshot of network-wide counters.
+type Stats struct {
+	MessagesSent    uint64
+	MessagesDropped uint64
+	BytesSent       uint64
+}
+
+// Network is the shared medium connecting all endpoints.
+type Network struct {
+	cfg Config
+
+	mu        sync.RWMutex
+	endpoints map[NodeID]*Endpoint
+	crashed   map[NodeID]bool
+	// group assigns each node to a partition group; messages crossing
+	// group boundaries are dropped while partitioned is true.
+	partitioned bool
+	group       map[NodeID]int
+	extraDelay  map[NodeID]time.Duration
+	corruptRate map[NodeID]float64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	msgs    atomic.Uint64
+	dropped atomic.Uint64
+	bytes   atomic.Uint64
+
+	closed atomic.Bool
+	timers sync.WaitGroup
+}
+
+// New creates a network with the given configuration.
+func New(cfg Config) *Network {
+	if cfg.InboxSize <= 0 {
+		cfg.InboxSize = 4096
+	}
+	return &Network{
+		cfg:         cfg,
+		endpoints:   make(map[NodeID]*Endpoint),
+		crashed:     make(map[NodeID]bool),
+		group:       make(map[NodeID]int),
+		extraDelay:  make(map[NodeID]time.Duration),
+		corruptRate: make(map[NodeID]float64),
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Endpoint is one node's attachment point: an ID plus a bounded inbox.
+type Endpoint struct {
+	ID    NodeID
+	Inbox chan Message
+	net   *Network
+
+	bytesOut atomic.Uint64
+	bytesIn  atomic.Uint64
+}
+
+// Join attaches a new endpoint. Joining an existing ID replaces the old
+// endpoint (used by recovery after crash).
+func (n *Network) Join(id NodeID) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ep := &Endpoint{ID: id, Inbox: make(chan Message, n.cfg.InboxSize), net: n}
+	n.endpoints[id] = ep
+	return ep
+}
+
+// Peers returns the IDs of all joined endpoints.
+func (n *Network) Peers() []NodeID {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]NodeID, 0, len(n.endpoints))
+	for id := range n.endpoints {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Send transmits a message from ep to the given destination. It returns
+// false if the message was dropped at origin (crashed sender/receiver or
+// partition); in-flight drops (full inbox) are only visible in counters.
+func (ep *Endpoint) Send(to NodeID, typ string, payload any) bool {
+	return ep.net.send(ep, to, typ, payload)
+}
+
+// Broadcast sends the message to every other endpoint.
+func (ep *Endpoint) Broadcast(typ string, payload any) {
+	for _, id := range ep.net.Peers() {
+		if id != ep.ID {
+			ep.net.send(ep, id, typ, payload)
+		}
+	}
+}
+
+// BytesOut reports total bytes this endpoint has sent.
+func (ep *Endpoint) BytesOut() uint64 { return ep.bytesOut.Load() }
+
+// BytesIn reports total bytes delivered to this endpoint.
+func (ep *Endpoint) BytesIn() uint64 { return ep.bytesIn.Load() }
+
+func payloadSize(payload any) int {
+	if s, ok := payload.(Sizer); ok {
+		return s.WireSize()
+	}
+	return 64 // conservative default for small control messages
+}
+
+func (n *Network) send(from *Endpoint, to NodeID, typ string, payload any) bool {
+	if n.closed.Load() {
+		return false
+	}
+	size := payloadSize(payload)
+
+	n.mu.RLock()
+	if n.crashed[from.ID] || n.crashed[to] {
+		n.mu.RUnlock()
+		n.dropped.Add(1)
+		return false
+	}
+	if n.partitioned && n.group[from.ID] != n.group[to] {
+		n.mu.RUnlock()
+		n.dropped.Add(1)
+		return false
+	}
+	dst, ok := n.endpoints[to]
+	delay := n.cfg.BaseLatency + n.extraDelay[from.ID] + n.extraDelay[to]
+	corrupt := n.corruptRate[from.ID]
+	n.mu.RUnlock()
+	if !ok {
+		n.dropped.Add(1)
+		return false
+	}
+
+	n.rngMu.Lock()
+	if n.cfg.Jitter > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
+	}
+	isCorrupt := corrupt > 0 && n.rng.Float64() < corrupt
+	n.rngMu.Unlock()
+
+	if n.cfg.Bandwidth > 0 {
+		delay += time.Duration(int64(size) * int64(time.Second) / n.cfg.Bandwidth)
+	}
+
+	n.msgs.Add(1)
+	n.bytes.Add(uint64(size))
+	from.bytesOut.Add(uint64(size))
+
+	msg := Message{From: from.ID, To: to, Type: typ, Payload: payload, Size: size, Corrupt: isCorrupt}
+	n.timers.Add(1)
+	time.AfterFunc(delay, func() {
+		defer n.timers.Done()
+		if n.closed.Load() {
+			return
+		}
+		n.mu.RLock()
+		cur, ok := n.endpoints[to]
+		crashed := n.crashed[to]
+		cut := n.partitioned && n.group[msg.From] != n.group[to]
+		n.mu.RUnlock()
+		if !ok || crashed || cut || cur != dst {
+			n.dropped.Add(1)
+			return
+		}
+		select {
+		case dst.Inbox <- msg:
+			dst.bytesIn.Add(uint64(size))
+		default:
+			// Inbox full: the receiving process cannot keep up and the
+			// message is lost, exactly like a saturated gRPC/message
+			// channel in the real system.
+			n.dropped.Add(1)
+		}
+	})
+	return true
+}
+
+// Crash stops delivery to and from id until Recover.
+func (n *Network) Crash(id NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.crashed[id] = true
+}
+
+// Recover reverses Crash.
+func (n *Network) Recover(id NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.crashed, id)
+}
+
+// Crashed reports whether id is currently crashed.
+func (n *Network) Crashed(id NodeID) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.crashed[id]
+}
+
+// Partition splits the network in two: nodes in groupA on one side,
+// everyone else on the other. Traffic across the cut is dropped. This is
+// the attack primitive from §3.3 (eclipse / BGP-hijack simulation).
+func (n *Network) Partition(groupA []NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for id := range n.endpoints {
+		n.group[id] = 0
+	}
+	for _, id := range groupA {
+		n.group[id] = 1
+	}
+	n.partitioned = true
+}
+
+// Heal removes the partition.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitioned = false
+}
+
+// SetDelay injects extra one-way delay on all links touching the given
+// nodes (the paper's network-delay failure mode).
+func (n *Network) SetDelay(d time.Duration, ids ...NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, id := range ids {
+		if d <= 0 {
+			delete(n.extraDelay, id)
+		} else {
+			n.extraDelay[id] = d
+		}
+	}
+}
+
+// SetCorruptRate makes a fraction of messages sent by the given nodes
+// arrive corrupted (the paper's random-response failure mode).
+func (n *Network) SetCorruptRate(rate float64, ids ...NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, id := range ids {
+		if rate <= 0 {
+			delete(n.corruptRate, id)
+		} else {
+			n.corruptRate[id] = rate
+		}
+	}
+}
+
+// Stats returns a snapshot of global counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		MessagesSent:    n.msgs.Load(),
+		MessagesDropped: n.dropped.Load(),
+		BytesSent:       n.bytes.Load(),
+	}
+}
+
+// Close stops all future deliveries and waits for in-flight timers.
+func (n *Network) Close() {
+	n.closed.Store(true)
+	n.timers.Wait()
+}
+
+func (id NodeID) String() string { return fmt.Sprintf("n%d", int(id)) }

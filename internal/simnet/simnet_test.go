@@ -1,0 +1,181 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func fastConfig() Config {
+	return Config{BaseLatency: 100 * time.Microsecond, Jitter: 0, Bandwidth: 0, InboxSize: 64, Seed: 7}
+}
+
+func recvWithin(t *testing.T, ep *Endpoint, d time.Duration) Message {
+	t.Helper()
+	select {
+	case m := <-ep.Inbox:
+		return m
+	case <-time.After(d):
+		t.Fatalf("endpoint %v: no message within %v", ep.ID, d)
+		return Message{}
+	}
+}
+
+func TestSendDeliver(t *testing.T) {
+	n := New(fastConfig())
+	defer n.Close()
+	a, b := n.Join(1), n.Join(2)
+	if !a.Send(b.ID, "ping", "hello") {
+		t.Fatal("send refused")
+	}
+	m := recvWithin(t, b, time.Second)
+	if m.Type != "ping" || m.Payload.(string) != "hello" || m.From != 1 {
+		t.Fatalf("bad message: %+v", m)
+	}
+	if a.BytesOut() == 0 || b.BytesIn() == 0 {
+		t.Fatal("byte accounting missing")
+	}
+}
+
+func TestBroadcastReachesAllButSender(t *testing.T) {
+	n := New(fastConfig())
+	defer n.Close()
+	eps := make([]*Endpoint, 5)
+	for i := range eps {
+		eps[i] = n.Join(NodeID(i))
+	}
+	eps[0].Broadcast("blk", 42)
+	for i := 1; i < 5; i++ {
+		recvWithin(t, eps[i], time.Second)
+	}
+	select {
+	case <-eps[0].Inbox:
+		t.Fatal("sender received own broadcast")
+	case <-time.After(5 * time.Millisecond):
+	}
+}
+
+func TestCrashBlocksTraffic(t *testing.T) {
+	n := New(fastConfig())
+	defer n.Close()
+	a, b := n.Join(1), n.Join(2)
+	n.Crash(2)
+	if a.Send(2, "x", nil) {
+		t.Fatal("send to crashed node accepted")
+	}
+	if !n.Crashed(2) {
+		t.Fatal("Crashed(2) = false")
+	}
+	n.Recover(2)
+	if !a.Send(2, "x", nil) {
+		t.Fatal("send after recover refused")
+	}
+	recvWithin(t, b, time.Second)
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	n := New(fastConfig())
+	defer n.Close()
+	a, b, c := n.Join(1), n.Join(2), n.Join(3)
+	n.Partition([]NodeID{1}) // 1 | 2,3
+	if a.Send(2, "x", nil) {
+		t.Fatal("cross-partition send accepted")
+	}
+	if !b.Send(3, "x", nil) {
+		t.Fatal("same-side send refused")
+	}
+	recvWithin(t, c, time.Second)
+	n.Heal()
+	if !a.Send(2, "x", nil) {
+		t.Fatal("post-heal send refused")
+	}
+	recvWithin(t, b, time.Second)
+}
+
+func TestInboxOverflowDrops(t *testing.T) {
+	cfg := fastConfig()
+	cfg.InboxSize = 4
+	n := New(cfg)
+	a, _ := n.Join(1), n.Join(2)
+	for i := 0; i < 50; i++ {
+		a.Send(2, "flood", i)
+	}
+	time.Sleep(50 * time.Millisecond) // let delivery timers fire
+	n.Close()
+	st := n.Stats()
+	if st.MessagesDropped == 0 {
+		t.Fatal("expected drops from full inbox")
+	}
+	if st.MessagesSent != 50 {
+		t.Fatalf("sent = %d, want 50", st.MessagesSent)
+	}
+}
+
+func TestCorruptionFlag(t *testing.T) {
+	n := New(fastConfig())
+	defer n.Close()
+	a, b := n.Join(1), n.Join(2)
+	n.SetCorruptRate(1.0, 1)
+	a.Send(2, "x", nil)
+	m := recvWithin(t, b, time.Second)
+	if !m.Corrupt {
+		t.Fatal("message should be corrupted")
+	}
+	n.SetCorruptRate(0, 1)
+	a.Send(2, "x", nil)
+	if m := recvWithin(t, b, time.Second); m.Corrupt {
+		t.Fatal("corruption not cleared")
+	}
+}
+
+func TestExtraDelay(t *testing.T) {
+	n := New(fastConfig())
+	defer n.Close()
+	a, b := n.Join(1), n.Join(2)
+	n.SetDelay(150*time.Millisecond, 2)
+	start := time.Now()
+	a.Send(2, "x", nil)
+	recvWithin(t, b, time.Second)
+	if time.Since(start) < 100*time.Millisecond {
+		t.Fatal("extra delay not applied")
+	}
+}
+
+type sized struct{ n int }
+
+func (s sized) WireSize() int { return s.n }
+
+func TestBandwidthTransmissionDelay(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Bandwidth = 1_000_000 // 1 MB/s -> 100 KB takes 100 ms
+	n := New(cfg)
+	defer n.Close()
+	a, b := n.Join(1), n.Join(2)
+	start := time.Now()
+	a.Send(2, "blob", sized{100_000})
+	recvWithin(t, b, 2*time.Second)
+	if time.Since(start) < 80*time.Millisecond {
+		t.Fatal("transmission delay not applied")
+	}
+	if got := n.Stats().BytesSent; got != 100_000 {
+		t.Fatalf("bytes = %d, want 100000", got)
+	}
+}
+
+func TestRejoinReplacesEndpoint(t *testing.T) {
+	n := New(fastConfig())
+	defer n.Close()
+	a := n.Join(1)
+	_ = n.Join(2)
+	b2 := n.Join(2) // rejoin
+	a.Send(2, "x", nil)
+	recvWithin(t, b2, time.Second)
+}
+
+func TestSendAfterCloseRefused(t *testing.T) {
+	n := New(fastConfig())
+	a, _ := n.Join(1), n.Join(2)
+	n.Close()
+	if a.Send(2, "x", nil) {
+		t.Fatal("send after close accepted")
+	}
+}

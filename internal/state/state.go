@@ -1,0 +1,192 @@
+// Package state implements the world-state database shared by all three
+// platform presets: account balances plus per-contract key-value
+// namespaces, layered as a dirty overlay with a journal (for per-
+// transaction revert on failure or out-of-gas) over an authenticated
+// backend (Patricia-Merkle trie for Ethereum/Parity, Bucket-Merkle tree
+// for Hyperledger).
+package state
+
+import (
+	"errors"
+	"fmt"
+
+	"blockbench/internal/types"
+)
+
+// Backend is the authenticated storage a DB commits into.
+type Backend interface {
+	// Get returns nil for absent keys.
+	Get(key []byte) ([]byte, error)
+	Put(key, value []byte) error
+	Delete(key []byte) error
+	// Commit persists pending structure changes, returning the state root.
+	Commit() (types.Hash, error)
+	// Iterate walks all key/value pairs (order backend-defined).
+	Iterate(fn func(key, value []byte) bool) error
+	// MemBytes reports resident memory attributable to the backend.
+	MemBytes() int64
+}
+
+// ErrInsufficientFunds is returned by Transfer when the sender balance
+// is too low.
+var ErrInsufficientFunds = errors.New("state: insufficient funds")
+
+type journalEntry struct {
+	key     string
+	prev    []byte
+	hadPrev bool
+}
+
+// DB is the mutable world state during block execution. It is not safe
+// for concurrent use; block execution is single-threaded on every
+// platform the paper studies.
+type DB struct {
+	backend Backend
+	// overlay holds uncommitted writes; a nil value is a deletion.
+	overlay map[string][]byte
+	journal []journalEntry
+}
+
+// NewDB creates a state database over backend.
+func NewDB(backend Backend) *DB {
+	return &DB{backend: backend, overlay: make(map[string][]byte)}
+}
+
+func accountKey(addr types.Address) string { return "a:" + string(addr[:]) }
+
+func stateKey(contract string, key []byte) string {
+	return "c:" + contract + ":" + string(key)
+}
+
+func (db *DB) raw(key string) []byte {
+	if v, ok := db.overlay[key]; ok {
+		return v
+	}
+	v, err := db.backend.Get([]byte(key))
+	if err != nil {
+		// Backend read errors indicate a broken store; in the simulated
+		// cluster this only happens for capped Parity memory, which
+		// surfaces on write, so reads treat errors as absence.
+		return nil
+	}
+	return v
+}
+
+func (db *DB) write(key string, value []byte) {
+	prev, had := db.overlay[key]
+	db.journal = append(db.journal, journalEntry{key: key, prev: prev, hadPrev: had})
+	db.overlay[key] = value
+}
+
+// Snapshot marks a revert point covering all subsequent writes.
+func (db *DB) Snapshot() int { return len(db.journal) }
+
+// Revert undoes every write made after the snapshot was taken.
+func (db *DB) Revert(snap int) {
+	for i := len(db.journal) - 1; i >= snap; i-- {
+		e := db.journal[i]
+		if e.hadPrev {
+			db.overlay[e.key] = e.prev
+		} else {
+			delete(db.overlay, e.key)
+		}
+	}
+	db.journal = db.journal[:snap]
+}
+
+// GetBalance returns the account balance (0 for unknown accounts).
+func (db *DB) GetBalance(addr types.Address) uint64 {
+	return types.U64(db.raw(accountKey(addr)))
+}
+
+// SetBalance assigns an account balance.
+func (db *DB) SetBalance(addr types.Address, amount uint64) {
+	db.write(accountKey(addr), types.U64Bytes(amount))
+}
+
+// Transfer moves amount from one account to another. A zero from-address
+// mints (used by genesis preload and mining rewards).
+func (db *DB) Transfer(from, to types.Address, amount uint64) error {
+	if !from.IsZero() {
+		b := db.GetBalance(from)
+		if b < amount {
+			return fmt.Errorf("%w: have %d, need %d", ErrInsufficientFunds, b, amount)
+		}
+		db.SetBalance(from, b-amount)
+	}
+	db.SetBalance(to, db.GetBalance(to)+amount)
+	return nil
+}
+
+// GetState reads a contract state key (nil if absent).
+func (db *DB) GetState(contract string, key []byte) []byte {
+	return db.raw(stateKey(contract, key))
+}
+
+// SetState writes a contract state key.
+func (db *DB) SetState(contract string, key, value []byte) {
+	v := make([]byte, len(value))
+	copy(v, value)
+	db.write(stateKey(contract, key), v)
+}
+
+// DeleteState removes a contract state key.
+func (db *DB) DeleteState(contract string, key []byte) {
+	db.write(stateKey(contract, key), nil)
+}
+
+// Commit flushes the overlay into the backend and returns the new state
+// root. The journal is cleared; the DB remains usable.
+func (db *DB) Commit() (types.Hash, error) {
+	for k, v := range db.overlay {
+		var err error
+		if v == nil {
+			err = db.backend.Delete([]byte(k))
+		} else {
+			err = db.backend.Put([]byte(k), v)
+		}
+		if err != nil {
+			return types.ZeroHash, err
+		}
+	}
+	db.overlay = make(map[string][]byte)
+	db.journal = db.journal[:0]
+	return db.backend.Commit()
+}
+
+// IterateState walks all keys of one contract namespace in backend order,
+// passing the bare key (namespace prefix stripped).
+func (db *DB) IterateState(contract string, fn func(key, value []byte) bool) error {
+	// Overlay entries shadow backend entries; merge them.
+	prefix := "c:" + contract + ":"
+	seen := make(map[string]struct{})
+	for k, v := range db.overlay {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			seen[k] = struct{}{}
+			if v != nil {
+				if !fn([]byte(k[len(prefix):]), v) {
+					return nil
+				}
+			}
+		}
+	}
+	return db.backend.Iterate(func(k, v []byte) bool {
+		ks := string(k)
+		if len(ks) < len(prefix) || ks[:len(prefix)] != prefix {
+			return true
+		}
+		if _, shadowed := seen[ks]; shadowed {
+			return true
+		}
+		return fn(k[len(prefix):], v)
+	})
+}
+
+// MemBytes reports resident memory of the backend plus overlay.
+func (db *DB) MemBytes() int64 {
+	var overlay int64
+	for k, v := range db.overlay {
+		overlay += int64(len(k) + len(v))
+	}
+	return overlay + db.backend.MemBytes()
+}

@@ -1,0 +1,115 @@
+// Package txpool implements the pending-transaction pool each node keeps
+// between transaction arrival (client RPC or gossip) and block inclusion.
+package txpool
+
+import (
+	"sync"
+
+	"blockbench/internal/types"
+)
+
+// Pool is a FIFO pending pool with duplicate suppression. Transactions
+// seen before (pending or already included) are rejected, which keeps
+// gossip loops from amplifying traffic.
+type Pool struct {
+	mu      sync.Mutex
+	pending []*types.Transaction
+	index   map[types.Hash]int // position in pending, -1 once included
+	limit   int
+}
+
+// New creates a pool that holds at most limit pending transactions
+// (0 means unbounded).
+func New(limit int) *Pool {
+	return &Pool{index: make(map[types.Hash]int), limit: limit}
+}
+
+// Add inserts tx unless it is known or the pool is full. It reports
+// whether the transaction was accepted as new.
+func (p *Pool) Add(tx *types.Transaction) bool {
+	h := tx.Hash()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, known := p.index[h]; known {
+		return false
+	}
+	if p.limit > 0 && len(p.pending) >= p.limit {
+		return false
+	}
+	p.index[h] = len(p.pending)
+	p.pending = append(p.pending, tx)
+	return true
+}
+
+// Known reports whether the pool has ever seen tx.
+func (p *Pool) Known(h types.Hash) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.index[h]
+	return ok
+}
+
+// Batch returns up to maxTxs pending transactions whose gas limits sum
+// to at most gasLimit (0 disables the gas constraint). Transactions stay
+// pending until MarkIncluded.
+func (p *Pool) Batch(maxTxs int, gasLimit uint64) []*types.Transaction {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []*types.Transaction
+	var gas uint64
+	for _, tx := range p.pending {
+		if maxTxs > 0 && len(out) >= maxTxs {
+			break
+		}
+		if gasLimit > 0 && gas+tx.GasLimit > gasLimit {
+			break
+		}
+		gas += tx.GasLimit
+		out = append(out, tx)
+	}
+	return out
+}
+
+// MarkIncluded removes the given transactions from the pending set while
+// remembering their hashes so duplicates are still rejected.
+func (p *Pool) MarkIncluded(txs []*types.Transaction) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	drop := make(map[types.Hash]bool, len(txs))
+	for _, tx := range txs {
+		h := tx.Hash()
+		drop[h] = true
+		p.index[h] = -1
+	}
+	kept := p.pending[:0]
+	for _, tx := range p.pending {
+		if !drop[tx.Hash()] {
+			p.index[tx.Hash()] = len(kept)
+			kept = append(kept, tx)
+		}
+	}
+	p.pending = kept
+}
+
+// Reinject returns transactions to the pending set even if they were
+// previously marked included — used when a chain reorganization drops
+// the blocks that contained them.
+func (p *Pool) Reinject(txs []*types.Transaction) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, tx := range txs {
+		h := tx.Hash()
+		if pos, known := p.index[h]; known && pos >= 0 {
+			continue // still pending
+		}
+		p.index[h] = len(p.pending)
+		p.pending = append(p.pending, tx)
+	}
+}
+
+// Len returns the number of pending transactions.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pending)
+}

@@ -1,0 +1,115 @@
+package txpool
+
+import (
+	"testing"
+
+	"blockbench/internal/types"
+)
+
+func tx(nonce uint64, gas uint64) *types.Transaction {
+	return &types.Transaction{Nonce: nonce, GasLimit: gas}
+}
+
+func TestAddAndDuplicate(t *testing.T) {
+	p := New(0)
+	a := tx(1, 100)
+	if !p.Add(a) {
+		t.Fatal("first add refused")
+	}
+	if p.Add(a) {
+		t.Fatal("duplicate accepted")
+	}
+	if !p.Known(a.Hash()) {
+		t.Fatal("Known = false")
+	}
+	if p.Len() != 1 {
+		t.Fatalf("len = %d", p.Len())
+	}
+}
+
+func TestLimit(t *testing.T) {
+	p := New(2)
+	p.Add(tx(1, 1))
+	p.Add(tx(2, 1))
+	if p.Add(tx(3, 1)) {
+		t.Fatal("pool over limit")
+	}
+}
+
+func TestBatchRespectsCountAndGas(t *testing.T) {
+	p := New(0)
+	for i := uint64(1); i <= 10; i++ {
+		p.Add(tx(i, 100))
+	}
+	if got := len(p.Batch(3, 0)); got != 3 {
+		t.Fatalf("count batch = %d", got)
+	}
+	if got := len(p.Batch(0, 250)); got != 2 {
+		t.Fatalf("gas batch = %d", got)
+	}
+	if got := len(p.Batch(0, 0)); got != 10 {
+		t.Fatalf("unbounded batch = %d", got)
+	}
+	// Batch does not remove.
+	if p.Len() != 10 {
+		t.Fatal("batch consumed transactions")
+	}
+}
+
+func TestMarkIncludedKeepsDedup(t *testing.T) {
+	p := New(0)
+	a, b := tx(1, 1), tx(2, 1)
+	p.Add(a)
+	p.Add(b)
+	p.MarkIncluded([]*types.Transaction{a})
+	if p.Len() != 1 {
+		t.Fatalf("len = %d", p.Len())
+	}
+	if p.Add(a) {
+		t.Fatal("included tx re-admitted")
+	}
+	batch := p.Batch(0, 0)
+	if len(batch) != 1 || batch[0].Hash() != b.Hash() {
+		t.Fatal("wrong survivor")
+	}
+}
+
+func TestReinjectAfterReorg(t *testing.T) {
+	p := New(0)
+	a := tx(1, 1)
+	p.Add(a)
+	p.MarkIncluded([]*types.Transaction{a})
+	if p.Len() != 0 {
+		t.Fatal("not removed")
+	}
+	p.Reinject([]*types.Transaction{a})
+	if p.Len() != 1 {
+		t.Fatal("reinject failed")
+	}
+	// Reinjecting a still-pending tx must not duplicate it.
+	p.Reinject([]*types.Transaction{a})
+	if p.Len() != 1 {
+		t.Fatalf("duplicated: len = %d", p.Len())
+	}
+	// It can be included again afterwards.
+	p.MarkIncluded([]*types.Transaction{a})
+	if p.Len() != 0 {
+		t.Fatal("second include failed")
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	p := New(0)
+	var hs []types.Hash
+	for i := uint64(1); i <= 5; i++ {
+		x := tx(i, 1)
+		hs = append(hs, x.Hash())
+		p.Add(x)
+	}
+	batch := p.Batch(0, 0)
+	for i, x := range batch {
+		if x.Hash() != hs[i] {
+			t.Fatal("batch not FIFO")
+		}
+	}
+}

@@ -1,0 +1,257 @@
+// Package types defines the fundamental blockchain data types shared by
+// every layer of the stack: hashes, addresses, transactions, blocks and
+// receipts, together with a deterministic binary encoding used both for
+// content hashing and for wire-size accounting on the simulated network.
+package types
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// HashSize is the byte length of a content hash.
+const HashSize = 32
+
+// AddressSize is the byte length of an account address.
+const AddressSize = 20
+
+// Hash is a 32-byte content digest.
+type Hash [HashSize]byte
+
+// Address identifies an account (externally owned or contract).
+type Address [AddressSize]byte
+
+// ZeroHash is the all-zero hash, used as the genesis parent.
+var ZeroHash Hash
+
+// ZeroAddress is the all-zero address.
+var ZeroAddress Address
+
+// BytesToHash copies b into a Hash, left-truncating if b is too long.
+func BytesToHash(b []byte) Hash {
+	var h Hash
+	if len(b) > HashSize {
+		b = b[len(b)-HashSize:]
+	}
+	copy(h[HashSize-len(b):], b)
+	return h
+}
+
+// HashData returns the SHA-256 digest of data.
+func HashData(data []byte) Hash { return sha256.Sum256(data) }
+
+// Hex returns the hexadecimal representation prefixed with 0x.
+func (h Hash) Hex() string { return "0x" + hex.EncodeToString(h[:]) }
+
+// Short returns an abbreviated hex form for logging.
+func (h Hash) Short() string { return "0x" + hex.EncodeToString(h[:4]) }
+
+// IsZero reports whether the hash is all zeroes.
+func (h Hash) IsZero() bool { return h == ZeroHash }
+
+func (h Hash) String() string { return h.Short() }
+
+// Bytes returns the hash as a byte slice.
+func (h Hash) Bytes() []byte { return h[:] }
+
+// BytesToAddress copies b into an Address, left-truncating if too long.
+func BytesToAddress(b []byte) Address {
+	var a Address
+	if len(b) > AddressSize {
+		b = b[len(b)-AddressSize:]
+	}
+	copy(a[AddressSize-len(b):], b)
+	return a
+}
+
+// Hex returns the hexadecimal representation prefixed with 0x.
+func (a Address) Hex() string { return "0x" + hex.EncodeToString(a[:]) }
+
+func (a Address) String() string { return "0x" + hex.EncodeToString(a[:4]) }
+
+// IsZero reports whether the address is all zeroes.
+func (a Address) IsZero() bool { return a == ZeroAddress }
+
+// Bytes returns the address as a byte slice.
+func (a Address) Bytes() []byte { return a[:] }
+
+// Transaction is a signed state transition request. Contract interactions
+// carry the target contract name, a method selector and raw argument
+// blobs; plain value transfers leave Contract empty.
+type Transaction struct {
+	Nonce    uint64
+	From     Address
+	To       Address
+	Value    uint64
+	Contract string   // target contract name; empty for value transfer
+	Method   string   // contract method selector
+	Args     [][]byte // raw encoded arguments
+	GasLimit uint64
+	Sig      []byte // signature over Hash() by From
+
+	// Corrupt marks a transaction whose bytes were damaged in flight by
+	// the network-level fault injector; validators must reject it.
+	Corrupt bool
+
+	hash atomic.Pointer[Hash]
+}
+
+// Hash returns the content hash of the transaction (signature excluded),
+// caching the result.
+func (tx *Transaction) Hash() Hash {
+	if h := tx.hash.Load(); h != nil {
+		return *h
+	}
+	h := HashData(tx.encodeForHash())
+	tx.hash.Store(&h)
+	return h
+}
+
+func (tx *Transaction) encodeForHash() []byte {
+	e := NewEncoder()
+	e.Uint64(tx.Nonce)
+	e.Bytes(tx.From[:])
+	e.Bytes(tx.To[:])
+	e.Uint64(tx.Value)
+	e.String(tx.Contract)
+	e.String(tx.Method)
+	e.Uint32(uint32(len(tx.Args)))
+	for _, a := range tx.Args {
+		e.Bytes(a)
+	}
+	e.Uint64(tx.GasLimit)
+	return e.Out()
+}
+
+// Encode returns the full wire encoding, including the signature.
+func (tx *Transaction) Encode() []byte {
+	e := NewEncoder()
+	e.Raw(tx.encodeForHash())
+	e.Bytes(tx.Sig)
+	return e.Out()
+}
+
+// WireSize reports the encoded size in bytes, used for network accounting.
+func (tx *Transaction) WireSize() int {
+	n := 8 + AddressSize + 4 + AddressSize + 4 + 8 +
+		4 + len(tx.Contract) + 4 + len(tx.Method) + 4 + 8 +
+		4 + len(tx.Sig)
+	for _, a := range tx.Args {
+		n += 4 + len(a)
+	}
+	return n
+}
+
+// Header is the block header. PoW fields (Difficulty, PowNonce) are zero
+// for PoA/PBFT chains; View is only meaningful for PBFT.
+type Header struct {
+	Number     uint64
+	ParentHash Hash
+	TxRoot     Hash
+	StateRoot  Hash
+	Time       int64 // unix nanoseconds at proposal
+	Difficulty uint64
+	PowNonce   uint64
+	Proposer   Address
+	View       uint64
+	GasLimit   uint64
+	GasUsed    uint64
+}
+
+// Encode returns the deterministic binary encoding of the header.
+func (h *Header) Encode() []byte {
+	e := NewEncoder()
+	e.Uint64(h.Number)
+	e.Raw(h.ParentHash[:])
+	e.Raw(h.TxRoot[:])
+	e.Raw(h.StateRoot[:])
+	e.Uint64(uint64(h.Time))
+	e.Uint64(h.Difficulty)
+	e.Uint64(h.PowNonce)
+	e.Raw(h.Proposer[:])
+	e.Uint64(h.View)
+	e.Uint64(h.GasLimit)
+	e.Uint64(h.GasUsed)
+	return e.Out()
+}
+
+// Hash returns the content hash of the header, which identifies the block.
+func (h *Header) Hash() Hash { return HashData(h.Encode()) }
+
+// SealHash returns the hash of the header with the PoW solution zeroed;
+// miners search for a PowNonce such that H(SealHash||nonce) meets target.
+func (h *Header) SealHash() Hash {
+	cp := *h
+	cp.PowNonce = 0
+	return HashData(cp.Encode())
+}
+
+// Block is a header plus its transaction list.
+type Block struct {
+	Header Header
+	Txs    []*Transaction
+
+	hash atomic.Pointer[Hash]
+}
+
+// Hash returns the block identity (the header hash), caching the result.
+func (b *Block) Hash() Hash {
+	if h := b.hash.Load(); h != nil {
+		return *h
+	}
+	h := b.Header.Hash()
+	b.hash.Store(&h)
+	return h
+}
+
+// Number returns the block height.
+func (b *Block) Number() uint64 { return b.Header.Number }
+
+// WireSize reports the encoded block size in bytes.
+func (b *Block) WireSize() int {
+	n := len(b.Header.Encode())
+	for _, tx := range b.Txs {
+		n += tx.WireSize()
+	}
+	return n
+}
+
+func (b *Block) String() string {
+	return fmt.Sprintf("block{#%d %s txs=%d}", b.Header.Number, b.Hash().Short(), len(b.Txs))
+}
+
+// Receipt records the outcome of executing a transaction in a block.
+type Receipt struct {
+	TxHash      Hash
+	BlockNumber uint64
+	BlockHash   Hash
+	Index       int
+	OK          bool
+	GasUsed     uint64
+	Output      []byte
+	Err         string
+	CommitTime  time.Time // local time the containing block was committed
+}
+
+// U64Bytes encodes v as 8 big-endian bytes. It is the canonical integer
+// argument encoding used by contracts in this repository.
+func U64Bytes(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// U64 decodes a big-endian integer from b (shorter slices are allowed and
+// treated as left-padded with zeroes).
+func U64(b []byte) uint64 {
+	var buf [8]byte
+	if len(b) > 8 {
+		b = b[len(b)-8:]
+	}
+	copy(buf[8-len(b):], b)
+	return binary.BigEndian.Uint64(buf[:])
+}
