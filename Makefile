@@ -1,0 +1,33 @@
+# BLOCKBENCH reproduction — build / test / bench entry points.
+#
+#   make build   compile everything
+#   make test    full test suite (the tier-1 gate runs build + test)
+#   make race    short-mode suite under the race detector
+#   make bench   root benchmark smoke (one iteration per figure) and
+#                write the results to BENCH_ci.json so the performance
+#                trajectory accumulates across PRs
+GO ?= go
+
+.PHONY: build vet test race bench clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: build vet
+	$(GO) test -timeout 20m ./...
+
+race:
+	$(GO) test -short -race -timeout 20m ./...
+
+# BENCH_ci.json holds the run in go's test2json NDJSON form: one event
+# per line, with the benchmark metric lines ("BenchmarkX ... ns/op") in
+# the output events. -benchtime=1x keeps this a smoke pass.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -timeout 60m -json . > BENCH_ci.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_ci.json | sed 's/"Output":"//;s/\\n$$//' || true
+
+clean:
+	rm -f BENCH_ci.json

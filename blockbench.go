@@ -1,7 +1,9 @@
 // Package blockbench is a Go implementation of BLOCKBENCH (Dinh et al.,
 // SIGMOD 2017), the evaluation framework for private blockchains, together
-// with simulated implementations of the three platforms the paper studies:
-// Ethereum (PoW), Parity (PoA) and Hyperledger Fabric v0.6 (PBFT).
+// with simulated implementations of the three platforms the paper studies —
+// Ethereum (PoW), Parity (PoA) and Hyperledger Fabric v0.6 (PBFT) — plus a
+// fourth, Quorum (Raft-ordered crash-fault-tolerant consensus), built on
+// the framework's pluggable platform registry (platform.Register).
 //
 // The package mirrors the paper's Fig 4 software stack:
 //
@@ -51,15 +53,31 @@ type (
 	ClusterConfig = platform.Config
 )
 
-// The supported platforms.
+// The built-in platforms: the paper's three systems plus the
+// Raft-ordered Quorum extension. New backends plug in through
+// platform.Register and appear in Platforms automatically.
 const (
 	Ethereum    = platform.Ethereum
 	Parity      = platform.Parity
 	Hyperledger = platform.Hyperledger
+	Quorum      = platform.Quorum
 )
 
-// Platforms lists all supported backends.
+// Platforms lists all registered backends in registration order.
 func Platforms() []Platform { return platform.Kinds() }
+
+// PlatformByName resolves a registered platform by its CLI name,
+// erroring with the known kinds when the name is unknown.
+func PlatformByName(name string) (Platform, error) {
+	if _, err := platform.Lookup(platform.Kind(name)); err != nil {
+		return "", err
+	}
+	return Platform(name), nil
+}
+
+// PlatformDescribe returns the one-line summary of a registered
+// platform ("" if unknown).
+func PlatformDescribe(kind Platform) string { return platform.Describe(kind) }
 
 // NewKeys deterministically derives n client identities.
 func NewKeys(n int) []*Key {
@@ -133,7 +151,7 @@ func (c *Cluster) ClientOn(i, server int) *Client {
 		cluster:   c,
 		key:       c.keys[i],
 		node:      c.inner.Node(server),
-		signLocal: c.inner.Kind != Parity,
+		signLocal: !c.inner.ServerSigns(),
 		id:        i,
 	}
 }

@@ -1,25 +1,40 @@
 // Command blockbench runs one workload against one simulated platform
 // and prints the run's metrics — the CLI face of the framework's driver.
 //
+// Platforms come from the pluggable registry (internal/platform): the
+// paper's ethereum, parity and hyperledger presets plus the Raft-ordered
+// quorum preset, and any backend registered by framework users.
+//
 // Examples:
 //
 //	blockbench -platform hyperledger -workload ycsb -nodes 8 -clients 8 -rate 128 -duration 12s
+//	blockbench -platform quorum -workload ycsb -nodes 4 -rate 64 -duration 5s
 //	blockbench -platform ethereum -workload smallbank -blocking -duration 10s
 //	blockbench -platform parity -workload donothing -rate 64
+//	blockbench -platforms
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"blockbench"
 )
 
+func platformNames() string {
+	names := make([]string, 0, 4)
+	for _, k := range blockbench.Platforms() {
+		names = append(names, string(k))
+	}
+	return strings.Join(names, " | ")
+}
+
 func main() {
 	var (
-		platformName = flag.String("platform", "hyperledger", "ethereum | parity | hyperledger")
+		platformName = flag.String("platform", "hyperledger", platformNames())
 		workloadName = flag.String("workload", "ycsb", "ycsb | smallbank | etherid | doubler | wavespresale | donothing | ioheavy | cpuheavy")
 		nodes        = flag.Int("nodes", 8, "number of server nodes")
 		clients      = flag.Int("clients", 8, "number of concurrent clients")
@@ -29,14 +44,22 @@ func main() {
 		blocking     = flag.Bool("blocking", false, "closed loop: wait for each tx to commit")
 		records      = flag.Int("records", 1000, "YCSB records / Smallbank accounts to preload")
 		seed         = flag.Int64("seed", 42, "workload RNG seed")
+		list         = flag.Bool("platforms", false, "list registered platforms and exit")
 	)
 	flag.Parse()
+
+	if *list {
+		for _, k := range blockbench.Platforms() {
+			fmt.Printf("%-12s %s\n", k, blockbench.PlatformDescribe(k))
+		}
+		return
+	}
 
 	w, err := workloadByName(*workloadName, *records)
 	if err != nil {
 		fatal(err)
 	}
-	kind, err := platformByName(*platformName)
+	kind, err := blockbench.PlatformByName(*platformName)
 	if err != nil {
 		fatal(err)
 	}
@@ -75,6 +98,9 @@ func main() {
 		report.LatencyMean, report.LatencyP50, report.LatencyP90, report.LatencyP99)
 	fmt.Printf("  blocks: %d (%.2f/s); forks: %d total / %d main\n",
 		report.Blocks, report.BlockRate(), report.ForkTotal, report.ForkMain)
+	if report.Elections > 0 {
+		fmt.Printf("  consensus: %d leader elections\n", report.Elections)
+	}
 	fmt.Printf("  network: %.2f MB/s, %d msgs (%d dropped)\n",
 		report.NetworkMBps(), report.MsgsSent, report.MsgsDropped)
 }
@@ -100,15 +126,6 @@ func workloadByName(name string, records int) (blockbench.Workload, error) {
 	default:
 		return nil, fmt.Errorf("unknown workload %q", name)
 	}
-}
-
-func platformByName(name string) (blockbench.Platform, error) {
-	for _, k := range blockbench.Platforms() {
-		if string(k) == name {
-			return k, nil
-		}
-	}
-	return "", fmt.Errorf("unknown platform %q", name)
 }
 
 func fatal(err error) {

@@ -190,6 +190,7 @@ func Run(c *Cluster, w Workload, cfg RunConfig) (*Report, error) {
 		MsgsDropped:  netAfter.MessagesDropped - netBefore.MessagesDropped,
 		PowHashes:    resAfter.powHashes - resBefore.powHashes,
 		ExecTime:     resAfter.execTime - resBefore.execTime,
+		Elections:    resAfter.elections - resBefore.elections,
 	}
 	cdfV, cdfF := latency.CDF(40)
 	r.LatencyCDFValues, r.LatencyCDFFractions = cdfV, cdfF

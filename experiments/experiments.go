@@ -78,9 +78,11 @@ func Get(id string) (Runner, bool) {
 	return fn, ok
 }
 
-// platforms under study, in the paper's presentation order.
+// platforms under study: the paper's three in presentation order, plus
+// the Raft-ordered Quorum extension as the comparison's fourth column.
 var platforms = []blockbench.Platform{
 	blockbench.Ethereum, blockbench.Parity, blockbench.Hyperledger,
+	blockbench.Quorum,
 }
 
 // newCluster builds a stopped cluster with paper-faithful defaults.

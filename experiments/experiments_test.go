@@ -25,6 +25,9 @@ func TestRegistryComplete(t *testing.T) {
 }
 
 func TestFig11CPUHeavyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run too heavy for -short")
+	}
 	res, err := Fig11CPUHeavy(tiny)
 	if err != nil {
 		t.Fatal(err)
@@ -40,6 +43,9 @@ func TestFig11CPUHeavyShape(t *testing.T) {
 }
 
 func TestFig13AnalyticsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run too heavy for -short")
+	}
 	res, err := Fig13Analytics(Scale{Duration: time.Second, Shrink: 20})
 	if err != nil {
 		t.Fatal(err)
@@ -71,6 +77,9 @@ func TestFig14HStoreBaseline(t *testing.T) {
 }
 
 func TestFig10PartitionAttackShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run too heavy for -short")
+	}
 	res, err := Fig10PartitionAttack(Scale{Duration: 3 * time.Second, Shrink: 10})
 	if err != nil {
 		t.Fatal(err)

@@ -174,7 +174,9 @@ func Fig15BlockSizes(s Scale) (*Result, error) {
 					cfg.BlockInterval = time.Duration(float64(100*time.Millisecond) * sz.mul)
 				case blockbench.Parity:
 					cfg.StepDuration = time.Duration(float64(40*time.Millisecond) * sz.mul)
-				case blockbench.Hyperledger:
+				case blockbench.Hyperledger, blockbench.Quorum:
+					// Both batch by count: Fabric's batchSize, Raft's
+					// per-entry batch.
 					cfg.BatchSize = int(20 * sz.mul)
 					cfg.BatchTimeout = time.Duration(float64(10*time.Millisecond) * sz.mul)
 				}

@@ -1,0 +1,3 @@
+module blockbench
+
+go 1.22

@@ -1,0 +1,638 @@
+// Package raft implements Raft crash-fault-tolerant ordering as used by
+// the Quorum preset (a geth fork that replaced PoW with Raft for
+// permissioned deployments). One node is elected leader with randomized
+// timeouts; the leader batches transactions from its pool into log
+// entries, replicates them with AppendEntries, and advances the commit
+// index once a majority of replicas store an entry. Committed entries
+// are applied in log order as blocks on the ledger, so the chain never
+// forks and transactions are final the moment they commit — the
+// crash-fault-tolerant counterpart to PBFT's Byzantine quorums, with
+// O(N) messages per batch instead of O(N^2).
+//
+// Like the other engines, a replica processes all messages on its
+// node's single inbox goroutine; the timer loop drives heartbeats,
+// batching and election timeouts. Corrupted messages (the random-
+// response fault injector) fail authentication and are dropped.
+package raft
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blockbench/internal/consensus"
+	"blockbench/internal/simnet"
+	"blockbench/internal/types"
+)
+
+// Message type tags on the simulated network.
+const (
+	MsgRequestVote = "raft_reqvote"
+	MsgVote        = "raft_vote"
+	MsgAppend      = "raft_append"
+	MsgAppendResp  = "raft_appendresp"
+)
+
+// Entry is one replicated log slot: a batch of transactions stamped
+// with the term it was proposed in. Empty batches are leader-change
+// barriers and produce no block.
+type Entry struct {
+	Term uint64
+	Txs  []*types.Transaction
+}
+
+func (e *Entry) wireSize() int {
+	n := 8
+	for _, tx := range e.Txs {
+		n += tx.WireSize()
+	}
+	return n
+}
+
+// RequestVote solicits a vote for a candidacy at Term.
+type RequestVote struct {
+	Term         uint64
+	LastLogIndex uint64
+	LastLogTerm  uint64
+}
+
+// WireSize implements simnet.Sizer.
+func (*RequestVote) WireSize() int { return 24 }
+
+// Vote answers a RequestVote.
+type Vote struct {
+	Term    uint64
+	Granted bool
+}
+
+// WireSize implements simnet.Sizer.
+func (*Vote) WireSize() int { return 16 }
+
+// AppendEntries replicates log entries (or, with none, heartbeats).
+type AppendEntries struct {
+	Term      uint64
+	PrevIndex uint64
+	PrevTerm  uint64
+	Entries   []Entry
+	Commit    uint64
+}
+
+// WireSize implements simnet.Sizer.
+func (m *AppendEntries) WireSize() int {
+	n := 40
+	for i := range m.Entries {
+		n += m.Entries[i].wireSize()
+	}
+	return n
+}
+
+// AppendResp acknowledges an AppendEntries. On success Match is the
+// highest log index now stored; on failure it hints where the
+// follower's log ends so the leader can back up nextIndex quickly.
+type AppendResp struct {
+	Term  uint64
+	OK    bool
+	Match uint64
+}
+
+// WireSize implements simnet.Sizer.
+func (*AppendResp) WireSize() int { return 24 }
+
+// Options tunes the protocol.
+type Options struct {
+	// ElectionTimeout is the follower timeout floor; each replica draws
+	// a fresh deadline in [ElectionTimeout, 2*ElectionTimeout) so
+	// elections rarely collide (Raft's randomized timeouts).
+	ElectionTimeout time.Duration
+	// Heartbeat is the leader's AppendEntries cadence, which also paces
+	// batching and commit-index propagation. Must be well below
+	// ElectionTimeout.
+	Heartbeat time.Duration
+	// BatchSize is the number of transactions per log entry (Quorum
+	// inherits geth's block batching; the repository default matches
+	// the PBFT preset's 20 at the 25x scale).
+	BatchSize int
+	// BatchTimeout proposes a partial batch after this long.
+	BatchTimeout time.Duration
+	// Window bounds uncommitted entries in flight.
+	Window int
+	// MaxAppend bounds entries per AppendEntries message; laggards are
+	// caught up over multiple rounds.
+	MaxAppend int
+	// Seed makes election-timeout randomization reproducible per node.
+	Seed int64
+}
+
+// DefaultOptions returns the Quorum-preset defaults.
+func DefaultOptions() Options {
+	return Options{
+		ElectionTimeout: 300 * time.Millisecond,
+		Heartbeat:       20 * time.Millisecond,
+		BatchSize:       20,
+		BatchTimeout:    10 * time.Millisecond,
+		Window:          64,
+		MaxAppend:       32,
+	}
+}
+
+type role int
+
+const (
+	follower role = iota
+	candidate
+	leader
+)
+
+const noVote = simnet.NodeID(-1)
+
+// Engine is one Raft replica driving one node.
+type Engine struct {
+	ctx   consensus.Context
+	opts  Options
+	peers []simnet.NodeID // sorted, including self
+
+	mu       sync.Mutex
+	term     uint64
+	votedFor simnet.NodeID
+	role     role
+	leader   simnet.NodeID
+	log      []Entry // 1-based: index i lives at log[i-1]
+	commit   uint64
+	applied  uint64
+
+	votes        map[simnet.NodeID]bool
+	next         map[simnet.NodeID]uint64
+	match        map[simnet.NodeID]uint64
+	assigned     map[types.Hash]bool // txs already batched (leader)
+	rng          *rand.Rand
+	deadline     time.Time // election deadline (follower/candidate)
+	lastProposal time.Time
+
+	elections   atomic.Uint64
+	leaderWins  atomic.Uint64
+	batchesDone atomic.Uint64
+
+	stop    chan struct{}
+	done    sync.WaitGroup
+	started atomic.Bool
+}
+
+// New creates a Raft engine. All peers run replicas.
+func New(ctx consensus.Context, opts Options) *Engine {
+	def := DefaultOptions()
+	if opts.ElectionTimeout <= 0 {
+		opts.ElectionTimeout = def.ElectionTimeout
+	}
+	if opts.Heartbeat <= 0 {
+		opts.Heartbeat = def.Heartbeat
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = def.BatchSize
+	}
+	if opts.BatchTimeout <= 0 {
+		opts.BatchTimeout = def.BatchTimeout
+	}
+	if opts.Window <= 0 {
+		opts.Window = def.Window
+	}
+	if opts.MaxAppend <= 0 {
+		opts.MaxAppend = def.MaxAppend
+	}
+	peers := append([]simnet.NodeID(nil), ctx.Peers...)
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	e := &Engine{
+		ctx:      ctx,
+		opts:     opts,
+		peers:    peers,
+		votedFor: noVote,
+		leader:   noVote,
+		assigned: make(map[types.Hash]bool),
+		rng:      rand.New(rand.NewSource(opts.Seed*7919 + int64(ctx.Self)*104729 + 1)),
+		stop:     make(chan struct{}),
+	}
+	e.resetDeadlineLocked(time.Now())
+	return e
+}
+
+func (e *Engine) majority() int { return len(e.peers)/2 + 1 }
+
+// Start implements consensus.Engine.
+func (e *Engine) Start() {
+	if !e.started.CompareAndSwap(false, true) {
+		return
+	}
+	e.done.Add(1)
+	go e.timerLoop()
+}
+
+// Stop implements consensus.Engine.
+func (e *Engine) Stop() {
+	if e.started.CompareAndSwap(true, false) {
+		close(e.stop)
+		e.done.Wait()
+	}
+}
+
+// Term returns the current term (for tests and diagnostics).
+func (e *Engine) Term() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.term
+}
+
+// IsLeader reports whether this replica currently leads.
+func (e *Engine) IsLeader() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.role == leader
+}
+
+// Elections counts elections this replica has started.
+func (e *Engine) Elections() uint64 { return e.elections.Load() }
+
+// LeaderWins counts elections this replica has won.
+func (e *Engine) LeaderWins() uint64 { return e.leaderWins.Load() }
+
+// BatchesCommitted counts log entries this replica has applied as
+// blocks.
+func (e *Engine) BatchesCommitted() uint64 { return e.batchesDone.Load() }
+
+func (e *Engine) resetDeadlineLocked(now time.Time) {
+	jitter := time.Duration(e.rng.Int63n(int64(e.opts.ElectionTimeout)))
+	e.deadline = now.Add(e.opts.ElectionTimeout + jitter)
+}
+
+// timerLoop drives heartbeats and batching (when leader) and election
+// timeouts (otherwise).
+func (e *Engine) timerLoop() {
+	defer e.done.Done()
+	tick := time.NewTicker(e.opts.Heartbeat)
+	defer tick.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case now := <-tick.C:
+			e.mu.Lock()
+			if e.role == leader {
+				e.proposeLocked(now)
+				e.sendAppendsLocked()
+				e.advanceCommitLocked()
+			} else if now.After(e.deadline) {
+				e.startElectionLocked(now)
+			}
+			e.mu.Unlock()
+		}
+	}
+}
+
+// lastTermLocked returns the term of the log entry at index (0 for the
+// empty prefix).
+func (e *Engine) termAtLocked(index uint64) uint64 {
+	if index == 0 || index > uint64(len(e.log)) {
+		return 0
+	}
+	return e.log[index-1].Term
+}
+
+// startElectionLocked begins a candidacy for term+1.
+func (e *Engine) startElectionLocked(now time.Time) {
+	e.term++
+	e.role = candidate
+	e.leader = noVote
+	e.votedFor = e.ctx.Self
+	e.votes = map[simnet.NodeID]bool{e.ctx.Self: true}
+	e.elections.Add(1)
+	e.resetDeadlineLocked(now)
+	last := uint64(len(e.log))
+	rv := &RequestVote{Term: e.term, LastLogIndex: last, LastLogTerm: e.termAtLocked(last)}
+	e.ctx.Endpoint.Broadcast(MsgRequestVote, rv)
+	e.maybeWinLocked() // single-node clusters win on their own vote
+}
+
+// upToDateLocked implements the Raft voting restriction: grant only to
+// candidates whose log is at least as complete as ours, which keeps
+// committed entries from being lost across leader changes.
+func (e *Engine) upToDateLocked(lastIndex, lastTerm uint64) bool {
+	myLast := uint64(len(e.log))
+	myTerm := e.termAtLocked(myLast)
+	if lastTerm != myTerm {
+		return lastTerm > myTerm
+	}
+	return lastIndex >= myLast
+}
+
+// stepDownLocked returns to follower state, adopting a newer term.
+func (e *Engine) stepDownLocked(term uint64, now time.Time) {
+	if term > e.term {
+		e.term = term
+		e.votedFor = noVote
+	}
+	e.role = follower
+	e.votes = nil
+	if len(e.assigned) > 0 {
+		e.assigned = make(map[types.Hash]bool)
+	}
+	e.resetDeadlineLocked(now)
+}
+
+// maybeWinLocked promotes a candidate holding a majority of votes.
+func (e *Engine) maybeWinLocked() {
+	if e.role != candidate || len(e.votes) < e.majority() {
+		return
+	}
+	e.role = leader
+	e.leader = e.ctx.Self
+	e.leaderWins.Add(1)
+	e.next = make(map[simnet.NodeID]uint64, len(e.peers))
+	e.match = make(map[simnet.NodeID]uint64, len(e.peers))
+	last := uint64(len(e.log))
+	for _, p := range e.peers {
+		e.next[p] = last + 1
+	}
+	// Re-mark transactions sitting in unapplied entries so the new
+	// leader does not batch them twice while the barrier below commits.
+	e.assigned = make(map[types.Hash]bool)
+	for i := e.applied; i < uint64(len(e.log)); i++ {
+		for _, tx := range e.log[i].Txs {
+			e.assigned[tx.Hash()] = true
+		}
+	}
+	// A leader may only count replicas toward commitment for entries of
+	// its own term (§5.4.2), so append a no-op barrier to flush any
+	// uncommitted entries inherited from prior terms.
+	if last > e.commit {
+		e.log = append(e.log, Entry{Term: e.term})
+	}
+	e.lastProposal = time.Time{}
+	e.sendAppendsLocked()
+	e.advanceCommitLocked()
+}
+
+// pickBatchLocked selects pending transactions not already in flight.
+func (e *Engine) pickBatchLocked() []*types.Transaction {
+	candidates := e.ctx.Pool.Batch(e.opts.BatchSize+len(e.assigned), 0)
+	out := make([]*types.Transaction, 0, e.opts.BatchSize)
+	for _, tx := range candidates {
+		if e.assigned[tx.Hash()] {
+			continue
+		}
+		out = append(out, tx)
+		if len(out) >= e.opts.BatchSize {
+			break
+		}
+	}
+	return out
+}
+
+// proposeLocked appends new log entries from the pool: full batches
+// immediately, partial batches once BatchTimeout has passed (Fabric-
+// style size/timeout batching, which Quorum's geth lineage shares).
+func (e *Engine) proposeLocked(now time.Time) {
+	for rounds := 0; rounds < 8; rounds++ {
+		if uint64(len(e.log))-e.commit >= uint64(e.opts.Window) {
+			return
+		}
+		txs := e.pickBatchLocked()
+		if len(txs) == 0 {
+			return
+		}
+		if len(txs) < e.opts.BatchSize &&
+			!e.lastProposal.IsZero() && now.Sub(e.lastProposal) < e.opts.BatchTimeout {
+			return // wait for a fuller batch
+		}
+		for _, tx := range txs {
+			e.assigned[tx.Hash()] = true
+		}
+		e.log = append(e.log, Entry{Term: e.term, Txs: txs})
+		e.lastProposal = now
+	}
+}
+
+// sendAppendsLocked replicates (or heartbeats) to every follower.
+func (e *Engine) sendAppendsLocked() {
+	last := uint64(len(e.log))
+	for _, p := range e.peers {
+		if p == e.ctx.Self {
+			continue
+		}
+		ni := e.next[p]
+		if ni == 0 {
+			ni = 1
+		}
+		end := last
+		if end > ni-1+uint64(e.opts.MaxAppend) {
+			end = ni - 1 + uint64(e.opts.MaxAppend)
+		}
+		var entries []Entry
+		if end >= ni {
+			// Copy: the payload crosses goroutines by reference and our
+			// log tail may later be truncated by a successor leader.
+			entries = append(entries, e.log[ni-1:end]...)
+		}
+		e.ctx.Endpoint.Send(p, MsgAppend, &AppendEntries{
+			Term:      e.term,
+			PrevIndex: ni - 1,
+			PrevTerm:  e.termAtLocked(ni - 1),
+			Entries:   entries,
+			Commit:    e.commit,
+		})
+	}
+}
+
+// advanceCommitLocked moves the commit index to the highest entry of
+// the current term stored by a majority, then applies.
+func (e *Engine) advanceCommitLocked() {
+	if e.role == leader {
+		for n := uint64(len(e.log)); n > e.commit; n-- {
+			if e.log[n-1].Term != e.term {
+				break // older terms commit transitively (§5.4.2)
+			}
+			cnt := 1 // self
+			for _, p := range e.peers {
+				if p != e.ctx.Self && e.match[p] >= n {
+					cnt++
+				}
+			}
+			if cnt >= e.majority() {
+				e.commit = n
+				break
+			}
+		}
+	}
+	e.applyLocked()
+}
+
+// applyLocked executes committed entries in log order, appending one
+// block per non-empty batch. Every replica builds byte-identical blocks
+// (deterministic header, no proposer), exactly like the PBFT preset.
+func (e *Engine) applyLocked() {
+	for e.applied < e.commit {
+		en := e.log[e.applied]
+		if len(en.Txs) == 0 {
+			e.applied++
+			continue
+		}
+		head := e.ctx.Chain.Head()
+		block := &types.Block{
+			Header: types.Header{
+				Number:     head.Number() + 1,
+				ParentHash: head.Hash(),
+				Time:       int64(head.Number() + 1),
+				View:       en.Term,
+			},
+			Txs: en.Txs,
+		}
+		if err := e.ctx.Chain.Append(block); err != nil {
+			return // retry on the next tick
+		}
+		e.applied++
+		for _, tx := range en.Txs {
+			delete(e.assigned, tx.Hash())
+		}
+		e.batchesDone.Add(1)
+	}
+}
+
+// Handle implements consensus.Engine.
+func (e *Engine) Handle(msg simnet.Message) bool {
+	switch msg.Type {
+	case MsgRequestVote, MsgVote, MsgAppend, MsgAppendResp:
+	default:
+		return false
+	}
+	if msg.Corrupt {
+		// Damaged messages fail authentication and are discarded — the
+		// paper's "random response" Byzantine failure mode.
+		return true
+	}
+	switch msg.Type {
+	case MsgRequestVote:
+		if rv, ok := msg.Payload.(*RequestVote); ok {
+			e.onRequestVote(msg.From, rv)
+		}
+	case MsgVote:
+		if v, ok := msg.Payload.(*Vote); ok {
+			e.onVote(msg.From, v)
+		}
+	case MsgAppend:
+		if ae, ok := msg.Payload.(*AppendEntries); ok {
+			e.onAppend(msg.From, ae)
+		}
+	case MsgAppendResp:
+		if r, ok := msg.Payload.(*AppendResp); ok {
+			e.onAppendResp(msg.From, r)
+		}
+	}
+	return true
+}
+
+func (e *Engine) onRequestVote(from simnet.NodeID, rv *RequestVote) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := time.Now()
+	if rv.Term > e.term {
+		e.stepDownLocked(rv.Term, now)
+	}
+	granted := rv.Term == e.term && e.role == follower &&
+		(e.votedFor == noVote || e.votedFor == from) &&
+		e.upToDateLocked(rv.LastLogIndex, rv.LastLogTerm)
+	if granted {
+		e.votedFor = from
+		e.resetDeadlineLocked(now)
+	}
+	e.ctx.Endpoint.Send(from, MsgVote, &Vote{Term: e.term, Granted: granted})
+}
+
+func (e *Engine) onVote(from simnet.NodeID, v *Vote) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if v.Term > e.term {
+		e.stepDownLocked(v.Term, time.Now())
+		return
+	}
+	if e.role != candidate || v.Term != e.term || !v.Granted {
+		return
+	}
+	e.votes[from] = true
+	e.maybeWinLocked()
+}
+
+func (e *Engine) onAppend(from simnet.NodeID, ae *AppendEntries) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := time.Now()
+	if ae.Term < e.term {
+		e.ctx.Endpoint.Send(from, MsgAppendResp, &AppendResp{Term: e.term})
+		return
+	}
+	// Valid leader for this term (or newer): follow it.
+	e.stepDownLocked(ae.Term, now)
+	e.leader = from
+
+	last := uint64(len(e.log))
+	if ae.PrevIndex > last || e.termAtLocked(ae.PrevIndex) != ae.PrevTerm {
+		// Log gap or conflict at PrevIndex: hint our log end so the
+		// leader backs nextIndex up in one round instead of one-by-one.
+		hint := last
+		if ae.PrevIndex > 0 && hint >= ae.PrevIndex {
+			hint = ae.PrevIndex - 1
+		}
+		e.ctx.Endpoint.Send(from, MsgAppendResp, &AppendResp{Term: e.term, Match: hint})
+		return
+	}
+	for i := range ae.Entries {
+		idx := ae.PrevIndex + 1 + uint64(i)
+		if idx <= uint64(len(e.log)) {
+			if e.log[idx-1].Term == ae.Entries[i].Term {
+				continue // already stored
+			}
+			e.log = e.log[:idx-1] // conflict: discard our divergent tail
+		}
+		e.log = append(e.log, ae.Entries[i])
+	}
+	if ae.Commit > e.commit {
+		e.commit = ae.Commit
+		if max := uint64(len(e.log)); e.commit > max {
+			e.commit = max
+		}
+		e.applyLocked()
+	}
+	e.ctx.Endpoint.Send(from, MsgAppendResp, &AppendResp{
+		Term: e.term, OK: true, Match: ae.PrevIndex + uint64(len(ae.Entries)),
+	})
+}
+
+func (e *Engine) onAppendResp(from simnet.NodeID, r *AppendResp) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if r.Term > e.term {
+		e.stepDownLocked(r.Term, time.Now())
+		return
+	}
+	if e.role != leader || r.Term != e.term {
+		return
+	}
+	if r.OK {
+		if r.Match > e.match[from] {
+			e.match[from] = r.Match
+		}
+		e.next[from] = e.match[from] + 1
+		e.advanceCommitLocked()
+		return
+	}
+	// Rejected: back up toward the follower's hint and retry next tick.
+	ni := e.next[from]
+	if ni == 0 {
+		ni = 1
+	}
+	hinted := r.Match + 1
+	if hinted < ni {
+		ni = hinted
+	} else if ni > 1 {
+		ni--
+	}
+	e.next[from] = ni
+}

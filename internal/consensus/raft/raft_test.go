@@ -1,0 +1,361 @@
+package raft
+
+import (
+	"testing"
+	"time"
+
+	"blockbench/internal/consensus"
+	"blockbench/internal/exec"
+	"blockbench/internal/kvstore"
+	"blockbench/internal/ledger"
+	"blockbench/internal/simnet"
+	"blockbench/internal/state"
+	"blockbench/internal/txpool"
+	"blockbench/internal/types"
+)
+
+// fastOptions keeps elections and batching quick for tests.
+func fastOptions() Options {
+	o := DefaultOptions()
+	o.ElectionTimeout = 60 * time.Millisecond
+	o.Heartbeat = 5 * time.Millisecond
+	o.BatchTimeout = 5 * time.Millisecond
+	return o
+}
+
+type testNode struct {
+	e     *Engine
+	ep    *simnet.Endpoint
+	chain *ledger.Chain
+	pool  *txpool.Pool
+	stop  chan struct{}
+}
+
+type testCluster struct {
+	net   *simnet.Network
+	nodes []*testNode
+}
+
+// newTestCluster boots n replicas over a fresh simnet, each with its own
+// chain, pool and a pump goroutine standing in for the node inbox loop.
+func newTestCluster(t *testing.T, n int, opts Options) *testCluster {
+	t.Helper()
+	net := simnet.New(simnet.Config{
+		BaseLatency: 50 * time.Microsecond,
+		Jitter:      50 * time.Microsecond,
+		InboxSize:   4096,
+		Seed:        1,
+	})
+	peers := make([]simnet.NodeID, n)
+	for i := range peers {
+		peers[i] = simnet.NodeID(i)
+	}
+	c := &testCluster{net: net}
+	for i := 0; i < n; i++ {
+		store := kvstore.NewMem()
+		eng, err := exec.NewNativeEngine("donothing")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool := txpool.New(1 << 16)
+		chain, err := ledger.New(ledger.Config{
+			Engine: eng,
+			StateFactory: func(root types.Hash) (*state.DB, error) {
+				b, err := state.NewTrieBackend(store, root, 0)
+				if err != nil {
+					return nil, err
+				}
+				return state.NewDB(b), nil
+			},
+			SupportsForks: true,
+			OnInclude:     pool.MarkIncluded,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep := net.Join(simnet.NodeID(i))
+		tn := &testNode{
+			ep:    ep,
+			chain: chain,
+			pool:  pool,
+			stop:  make(chan struct{}),
+		}
+		tn.e = New(consensus.Context{
+			Self:     simnet.NodeID(i),
+			Endpoint: ep,
+			Chain:    chain,
+			Pool:     pool,
+			Peers:    peers,
+		}, opts)
+		go func(tn *testNode) {
+			for {
+				select {
+				case <-tn.stop:
+					return
+				case msg := <-tn.ep.Inbox:
+					tn.e.Handle(msg)
+				}
+			}
+		}(tn)
+		c.nodes = append(c.nodes, tn)
+	}
+	t.Cleanup(func() {
+		for _, tn := range c.nodes {
+			tn.e.Stop()
+			close(tn.stop)
+		}
+		net.Close()
+	})
+	for _, tn := range c.nodes {
+		tn.e.Start()
+	}
+	return c
+}
+
+// leader returns the index of the single live leader, or -1.
+func (c *testCluster) leader(skip map[int]bool) int {
+	found := -1
+	for i, tn := range c.nodes {
+		if skip[i] {
+			continue
+		}
+		if tn.e.IsLeader() {
+			if found >= 0 {
+				return -1 // two leaders visible; not settled yet
+			}
+			found = i
+		}
+	}
+	return found
+}
+
+func (c *testCluster) waitLeader(t *testing.T, skip map[int]bool) int {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if l := c.leader(skip); l >= 0 {
+			return l
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("no leader elected")
+	return -1
+}
+
+// submit puts the same transaction into every live pool, standing in for
+// the node layer's gossip.
+func (c *testCluster) submit(i int, skip map[int]bool) *types.Transaction {
+	tx := &types.Transaction{
+		Nonce:    uint64(i),
+		Contract: "donothing",
+		Method:   "nop",
+		GasLimit: 100_000,
+	}
+	for j, tn := range c.nodes {
+		if !skip[j] {
+			tn.pool.Add(tx)
+		}
+	}
+	return tx
+}
+
+func (c *testCluster) waitCommitted(t *testing.T, txs []*types.Transaction, skip map[int]bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		done := true
+		for i, tn := range c.nodes {
+			if skip[i] {
+				continue
+			}
+			for _, tx := range txs {
+				if _, ok := tn.chain.Receipt(tx.Hash()); !ok {
+					done = false
+					break
+				}
+			}
+			if !done {
+				break
+			}
+		}
+		if done {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("transactions not committed everywhere (node0 height=%d)", c.nodes[0].chain.Height())
+}
+
+func TestMajorityMath(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 2, 4: 3, 5: 3, 8: 5, 9: 5}
+	for n, want := range cases {
+		peers := make([]simnet.NodeID, n)
+		for i := range peers {
+			peers[i] = simnet.NodeID(i)
+		}
+		e := New(consensus.Context{Peers: peers}, DefaultOptions())
+		if got := e.majority(); got != want {
+			t.Errorf("n=%d: majority = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestWireSizes(t *testing.T) {
+	if (&RequestVote{}).WireSize() != 24 {
+		t.Fatal("request-vote size wrong")
+	}
+	ae := &AppendEntries{Entries: []Entry{{Txs: []*types.Transaction{{Method: "m"}}}}}
+	if ae.WireSize() <= 40 {
+		t.Fatal("append-entries size ignores entries")
+	}
+	if (&AppendEntries{}).WireSize() != 40 {
+		t.Fatal("heartbeat size wrong")
+	}
+}
+
+func TestVoteRestrictionPrefersCompleteLogs(t *testing.T) {
+	peers := []simnet.NodeID{0, 1, 2}
+	e := New(consensus.Context{Self: 0, Peers: peers}, DefaultOptions())
+	e.mu.Lock()
+	e.log = []Entry{{Term: 1}, {Term: 2}}
+	if e.upToDateLocked(1, 2) {
+		t.Fatal("granted vote to a shorter log of the same last term")
+	}
+	if e.upToDateLocked(5, 1) {
+		t.Fatal("granted vote to a longer log with an older last term")
+	}
+	if !e.upToDateLocked(2, 2) {
+		t.Fatal("rejected an equal log")
+	}
+	if !e.upToDateLocked(1, 3) {
+		t.Fatal("rejected a newer-term log")
+	}
+	e.mu.Unlock()
+}
+
+func TestElectsSingleLeader(t *testing.T) {
+	c := newTestCluster(t, 5, fastOptions())
+	l := c.waitLeader(t, nil)
+	// Terms converge and exactly one leader remains.
+	time.Sleep(100 * time.Millisecond)
+	if again := c.leader(nil); again != l {
+		// A re-election can legitimately move the crown; just require
+		// that some single leader exists.
+		if again < 0 {
+			t.Fatalf("leadership did not settle (was %d)", l)
+		}
+	}
+}
+
+func TestReplicatesBatchesToAllReplicas(t *testing.T) {
+	c := newTestCluster(t, 4, fastOptions())
+	c.waitLeader(t, nil)
+	var txs []*types.Transaction
+	for i := 0; i < 30; i++ {
+		txs = append(txs, c.submit(i, nil))
+	}
+	c.waitCommitted(t, txs, nil)
+	// All replicas converged on identical chains with no forks.
+	h0 := c.nodes[0].chain.Height()
+	ref, _ := c.nodes[0].chain.GetBlock(h0)
+	for i, tn := range c.nodes {
+		if tn.chain.Height() < h0 {
+			continue // laggard within a heartbeat of catching up
+		}
+		b, ok := tn.chain.GetBlock(h0)
+		if !ok || b.Hash() != ref.Hash() {
+			t.Fatalf("node %d diverged at height %d", i, h0)
+		}
+		if tn.chain.KnownBlocks() != tn.chain.Height() {
+			t.Fatalf("node %d has side-chain blocks: raft must never fork", i)
+		}
+	}
+}
+
+func TestLeaderCrashTriggersReElection(t *testing.T) {
+	c := newTestCluster(t, 5, fastOptions())
+	old := c.waitLeader(t, nil)
+
+	var txs []*types.Transaction
+	for i := 0; i < 10; i++ {
+		txs = append(txs, c.submit(i, nil))
+	}
+	c.waitCommitted(t, txs, nil)
+
+	c.net.Crash(simnet.NodeID(old))
+	skip := map[int]bool{old: true}
+	deadline := time.Now().Add(10 * time.Second)
+	nl := -1
+	for time.Now().Before(deadline) {
+		if l := c.leader(skip); l >= 0 && l != old {
+			nl = l
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if nl < 0 {
+		t.Fatal("no new leader after crash")
+	}
+
+	txs = nil
+	for i := 100; i < 110; i++ {
+		txs = append(txs, c.submit(i, skip))
+	}
+	c.waitCommitted(t, txs, skip)
+}
+
+func TestNoProgressWithoutMajority(t *testing.T) {
+	c := newTestCluster(t, 4, fastOptions())
+	c.waitLeader(t, nil)
+	// Crash 2 of 4: the rest cannot reach majority 3.
+	c.net.Crash(2)
+	c.net.Crash(3)
+	skip := map[int]bool{2: true, 3: true}
+	time.Sleep(150 * time.Millisecond) // let any in-flight commits land
+	h := c.nodes[0].chain.Height()
+	for i := 0; i < 5; i++ {
+		c.submit(i, skip)
+	}
+	time.Sleep(400 * time.Millisecond)
+	for i := 0; i < 2; i++ {
+		if got := c.nodes[i].chain.Height(); got != h {
+			t.Fatalf("node %d advanced from %d to %d without a majority", i, h, got)
+		}
+	}
+}
+
+func TestPartitionedMinorityRejoins(t *testing.T) {
+	c := newTestCluster(t, 5, fastOptions())
+	c.waitLeader(t, nil)
+
+	// Cut off nodes 0-1; the 3-node majority keeps committing.
+	c.net.Partition([]simnet.NodeID{0, 1})
+	skip := map[int]bool{0: true, 1: true}
+	var txs []*types.Transaction
+	for i := 0; i < 20; i++ {
+		txs = append(txs, c.submit(i, skip))
+	}
+	c.waitCommitted(t, txs, skip)
+
+	// Heal: the minority must adopt the majority's log and catch up
+	// without ever having forked the chain.
+	c.net.Heal()
+	c.waitCommitted(t, txs, nil)
+	for i, tn := range c.nodes {
+		if tn.chain.KnownBlocks() != tn.chain.Height() {
+			t.Fatalf("node %d forked during the partition", i)
+		}
+	}
+}
+
+func TestElectionsMetricCounts(t *testing.T) {
+	c := newTestCluster(t, 3, fastOptions())
+	c.waitLeader(t, nil)
+	var started uint64
+	for _, tn := range c.nodes {
+		started += tn.e.Elections()
+	}
+	if started == 0 {
+		t.Fatal("leader exists but no election was counted")
+	}
+}

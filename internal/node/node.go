@@ -227,16 +227,21 @@ func (n *Node) SendTransaction(tx *types.Transaction) (types.Hash, error) {
 	if err := n.rpc(); err != nil {
 		return types.ZeroHash, err
 	}
+	// Pin the content hash before the transaction crosses into the
+	// server's signing thread: Hash() excludes the signature and caches,
+	// so the id the client polls for stays stable while ingestLoop signs
+	// the same object concurrently.
+	id := tx.Hash()
 	if n.ingest != nil {
 		select {
 		case n.ingest <- tx:
-			return tx.Hash(), nil
+			return id, nil
 		default:
 			return types.ZeroHash, ErrBusy
 		}
 	}
 	n.admit(tx)
-	return tx.Hash(), nil
+	return id, nil
 }
 
 // BlockInfo is the confirmed-block summary returned to pollers.

@@ -1,0 +1,91 @@
+package platform
+
+import (
+	"time"
+
+	"blockbench/internal/consensus"
+	"blockbench/internal/consensus/pow"
+	"blockbench/internal/exec"
+	"blockbench/internal/kvstore"
+	"blockbench/internal/state"
+	"blockbench/internal/types"
+)
+
+// Ethereum is the geth v1.4.18 preset: proof-of-work consensus,
+// Patricia-Merkle trie state over the key-value store with a shared LRU
+// cache, EVM execution.
+const Ethereum Kind = "ethereum"
+
+func ethereumPreset() *Preset {
+	return &Preset{
+		Kind:          Ethereum,
+		Describe:      "geth v1.4.18: PoW, Patricia-Merkle trie + LRU state cache, EVM",
+		SupportsForks: true,
+		Fill: func(cfg *Config) {
+			if cfg.BlockInterval <= 0 {
+				cfg.BlockInterval = 100 * time.Millisecond
+			}
+			if cfg.GasLimit == 0 {
+				cfg.GasLimit = 650_000
+			}
+			if cfg.CacheEntries == 0 {
+				cfg.CacheEntries = 4096
+			}
+		},
+		MemModel:        gethMemModel,
+		NewEngine:       newEVMEngine,
+		NewStateFactory: trieSharedStateFactory,
+		// Only Ethereum-lineage PoW bounds blocks by gas; Parity's block
+		// size is set by stepDuration and Hyperledger's by batch size.
+		GasLimit: func(cfg *Config) uint64 { return cfg.GasLimit },
+		// confirmationLength: 5s paper / 2.5s blocks, scaled.
+		ConfirmationDepth: func(*Config) uint64 { return 2 },
+		NewConsensus: func(cfg *Config, _ *Env) func(consensus.Context) consensus.Engine {
+			return func(ctx consensus.Context) consensus.Engine {
+				opts := pow.DefaultOptions()
+				opts.TargetInterval = cfg.BlockInterval
+				opts.GasLimit = cfg.GasLimit
+				opts.MaxTxsPerBlock = cfg.MaxTxsPerBlock
+				opts.Mine = !cfg.DisableMining
+				return pow.New(ctx, opts)
+			}
+		},
+	}
+}
+
+// newEVMEngine builds an EVM execution engine over the subset of
+// cfg.Contracts that have an EVM build.
+func newEVMEngine(cfg *Config, mem exec.MemModel) (exec.Engine, error) {
+	names, err := evmContracts(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return exec.NewEVMEngine(mem, names...)
+}
+
+// gethMemModel is the geth-lineage memory cost model shared by the
+// Ethereum and Quorum presets: ~2.1 KB resident per sorted element
+// (22.8 GB at 10M), fitted to the paper's CPUHeavy runs at 1/100 input
+// scale.
+func gethMemModel(*Config) exec.MemModel {
+	return exec.MemModel{Base: 20 << 20, Factor: 262, Cap: 320 << 20}
+}
+
+// trieSharedStateFactory is the geth-lineage state organization shared
+// by the Ethereum and Quorum presets: a Patricia-Merkle trie over the
+// node's store with one long-lived LRU per node, shared across block
+// executions — geth's partial in-memory state ("using LRU for
+// eviction").
+func trieSharedStateFactory(cfg *Config, store kvstore.Store) (StateFactory, error) {
+	var cache *state.SharedCache
+	if cfg.CacheEntries > 0 {
+		cache = state.NewSharedCache(cfg.CacheEntries)
+	}
+	return func(root types.Hash) (*state.DB, error) {
+		b, err := state.NewTrieBackendShared(store, root, cache)
+		if err != nil {
+			return nil, err
+		}
+		return state.NewDB(b), nil
+	}, nil
+}

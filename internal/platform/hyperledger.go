@@ -1,0 +1,63 @@
+package platform
+
+import (
+	"time"
+
+	"blockbench/internal/bmt"
+	"blockbench/internal/consensus"
+	"blockbench/internal/consensus/pbft"
+	"blockbench/internal/exec"
+	"blockbench/internal/kvstore"
+	"blockbench/internal/state"
+	"blockbench/internal/types"
+)
+
+// Hyperledger is the Hyperledger Fabric v0.6.0-preview preset: PBFT
+// consensus over transaction batches, Bucket-Merkle tree state, native
+// chaincode execution, signature verification on ingress.
+const Hyperledger Kind = "hyperledger"
+
+func hyperledgerPreset() *Preset {
+	return &Preset{
+		Kind:     Hyperledger,
+		Describe: "Fabric v0.6.0-preview: PBFT, Bucket-Merkle tree, native chaincode",
+		// Fabric validates transactions as they arrive; the work lands on
+		// the node's message-processing thread.
+		VerifyIngress: true,
+		// Progress requires a live quorum, so blocks are final on commit:
+		// the protocol never forks.
+		SupportsForks: false,
+		Fill: func(cfg *Config) {
+			if cfg.BatchSize == 0 {
+				cfg.BatchSize = 20
+			}
+			if cfg.BatchTimeout <= 0 {
+				cfg.BatchTimeout = 15 * time.Millisecond
+			}
+			if cfg.ViewTimeout <= 0 {
+				cfg.ViewTimeout = 400 * time.Millisecond
+			}
+		},
+		NewEngine: func(cfg *Config, _ exec.MemModel) (exec.Engine, error) {
+			return exec.NewNativeEngine(cfg.Contracts...)
+		},
+		NewStateFactory: func(cfg *Config, store kvstore.Store) (StateFactory, error) {
+			// Bucket tree keeps no versions: one long-lived DB per node.
+			b, err := state.NewBucketBackend(store, bmt.Options{})
+			if err != nil {
+				return nil, err
+			}
+			db := state.NewDB(b)
+			return func(types.Hash) (*state.DB, error) { return db, nil }, nil
+		},
+		NewConsensus: func(cfg *Config, _ *Env) func(consensus.Context) consensus.Engine {
+			return func(ctx consensus.Context) consensus.Engine {
+				opts := pbft.DefaultOptions()
+				opts.BatchSize = cfg.BatchSize
+				opts.BatchTimeout = cfg.BatchTimeout
+				opts.ViewTimeout = cfg.ViewTimeout
+				return pbft.New(ctx, opts)
+			}
+		},
+	}
+}

@@ -1,0 +1,67 @@
+package platform
+
+import (
+	"time"
+
+	"blockbench/internal/consensus"
+	"blockbench/internal/consensus/poa"
+	"blockbench/internal/exec"
+	"blockbench/internal/kvstore"
+	"blockbench/internal/state"
+	"blockbench/internal/types"
+)
+
+// Parity is the Parity v1.6.0 preset: Proof-of-Authority consensus, all
+// state pinned in memory, EVM execution, server-side transaction
+// signing (the bottleneck the paper identified).
+const Parity Kind = "parity"
+
+func parityPreset() *Preset {
+	return &Preset{
+		Kind:          Parity,
+		Describe:      "Parity v1.6.0: PoA, state pinned in memory, EVM, server-side signing",
+		ServerSigns:   true,
+		SupportsForks: true,
+		Fill: func(cfg *Config) {
+			if cfg.StepDuration <= 0 {
+				cfg.StepDuration = 40 * time.Millisecond
+			}
+			if cfg.IngestCost <= 0 {
+				cfg.IngestCost = 180 * time.Millisecond
+			}
+			if cfg.ParityMemCap == 0 {
+				cfg.ParityMemCap = 256 << 20
+			}
+		},
+		// Parity: ~135 B per element (13 GB at 100M), at 1/100 scale.
+		MemModel: func(*Config) exec.MemModel {
+			return exec.MemModel{Base: 6 << 20, Factor: 17, Cap: 320 << 20}
+		},
+		OpenStore: func(cfg *Config, _ int) (kvstore.Store, error) {
+			// "In Parity, the entire block content is kept in memory" — a
+			// capped in-memory store; exhausting it is the paper's OOM 'X'.
+			return kvstore.NewMemCapped(cfg.ParityMemCap), nil
+		},
+		NewEngine: newEVMEngine,
+		NewStateFactory: func(cfg *Config, store kvstore.Store) (StateFactory, error) {
+			return func(root types.Hash) (*state.DB, error) {
+				b, err := state.NewTrieBackend(store, root, 0)
+				if err != nil {
+					return nil, err
+				}
+				return state.NewDB(b), nil
+			}, nil
+		},
+		// 5s confirmation / 1s steps, scaled.
+		ConfirmationDepth: func(*Config) uint64 { return 5 },
+		NewConsensus: func(cfg *Config, env *Env) func(consensus.Context) consensus.Engine {
+			return func(ctx consensus.Context) consensus.Engine {
+				return poa.New(ctx, poa.Options{
+					StepDuration:   cfg.StepDuration,
+					Authorities:    env.Authorities,
+					MaxTxsPerBlock: cfg.MaxTxsPerBlock,
+				})
+			}
+		},
+	}
+}

@@ -1,46 +1,46 @@
-// Package platform wires the substrate packages into the three blockchain
-// presets the paper evaluates — Ethereum (geth v1.4.18: PoW, Patricia-
-// Merkle trie over LevelDB with an LRU state cache, EVM), Parity (v1.6.0:
+// Package platform wires the substrate packages into blockchain
+// platform presets and runs N-node clusters of them over the simulated
+// network. Presets plug in through a registry (see Register in
+// registry.go): each preset file declares its state store, state
+// organization, execution engine, per-element memory cost model and
+// consensus factory, and the driver, experiments and CLI pick new
+// platforms up automatically.
+//
+// Four presets ship with the framework: the three systems the paper
+// evaluates — Ethereum (geth v1.4.18: PoW, Patricia-Merkle trie over
+// LevelDB with an LRU state cache, EVM), Parity (v1.6.0:
 // Proof-of-Authority, all state pinned in memory, EVM, server-side
 // transaction signing) and Hyperledger Fabric (v0.6.0-preview: PBFT,
-// Bucket-Merkle tree over RocksDB, native chaincode) — and runs N-node
-// clusters of them over the simulated network.
+// Bucket-Merkle tree over RocksDB, native chaincode) — plus Quorum
+// (geth fork: Raft-ordered crash-fault-tolerant consensus, trie state,
+// EVM), the extension seam's first user.
 package platform
 
 import (
 	"fmt"
-	"path/filepath"
 	"time"
 
-	"blockbench/internal/bmt"
-	"blockbench/internal/consensus"
-	"blockbench/internal/consensus/pbft"
-	"blockbench/internal/consensus/poa"
-	"blockbench/internal/consensus/pow"
-	"blockbench/internal/contracts"
 	"blockbench/internal/crypto"
 	"blockbench/internal/exec"
 	"blockbench/internal/kvstore"
 	"blockbench/internal/ledger"
 	"blockbench/internal/node"
 	"blockbench/internal/simnet"
-	"blockbench/internal/state"
 	"blockbench/internal/txpool"
 	"blockbench/internal/types"
 )
 
-// Kind selects a platform preset.
+// Kind selects a platform preset by registry key.
 type Kind string
 
-// The three systems under study.
-const (
-	Ethereum    Kind = "ethereum"
-	Parity      Kind = "parity"
-	Hyperledger Kind = "hyperledger"
-)
-
-// Kinds lists all presets.
-func Kinds() []Kind { return []Kind{Ethereum, Parity, Hyperledger} }
+func init() {
+	// Registration order is the paper's presentation order, with the
+	// Raft-ordered extension platform last.
+	MustRegister(ethereumPreset())
+	MustRegister(parityPreset())
+	MustRegister(hyperledgerPreset())
+	MustRegister(quorumPreset())
+}
 
 // Config sizes and tunes a cluster. Zero values take preset defaults.
 // All time defaults are at the repository's 25x scale relative to the
@@ -59,7 +59,8 @@ type Config struct {
 	// engine, one directory per node (IOHeavy disk-usage runs).
 	DataDir string
 
-	// Ethereum knobs.
+	// Ethereum knobs (Quorum shares CacheEntries; its blocks are
+	// batch-bounded like PBFT's, so GasLimit does not apply).
 	BlockInterval time.Duration // target PoW interval (default 100ms)
 	GasLimit      uint64        // block gas limit (default 650,000)
 	CacheEntries  int           // LRU state cache entries (default 4096)
@@ -70,10 +71,14 @@ type Config struct {
 	IngestCost   time.Duration // per-tx server processing (default 180ms)
 	ParityMemCap int64         // state memory cap (default 256 MiB)
 
-	// Hyperledger knobs.
-	BatchSize    int           // txs per PBFT batch (default 20)
+	// Hyperledger knobs (Quorum shares the batching pair).
+	BatchSize    int           // txs per consensus batch (default 20)
 	BatchTimeout time.Duration // partial-batch timer (default 10ms)
 	ViewTimeout  time.Duration // view-change timer (default 400ms)
+
+	// Quorum (Raft) knobs.
+	ElectionTimeout   time.Duration // follower election timeout floor (default 300ms)
+	HeartbeatInterval time.Duration // leader append/heartbeat cadence (default 20ms)
 
 	// Shared knobs.
 	MaxTxsPerBlock    int
@@ -82,39 +87,14 @@ type Config struct {
 	MemModel          *exec.MemModel
 }
 
+// fill applies the platform-independent defaults; preset-specific knobs
+// are defaulted by each preset's Fill hook.
 func (c *Config) fill() error {
 	if c.Nodes <= 0 {
 		return fmt.Errorf("platform: cluster needs at least 1 node")
 	}
 	if c.Net.InboxSize == 0 {
 		c.Net = simnet.DefaultConfig()
-	}
-	if c.BlockInterval <= 0 {
-		c.BlockInterval = 100 * time.Millisecond
-	}
-	if c.GasLimit == 0 {
-		c.GasLimit = 650_000
-	}
-	if c.CacheEntries == 0 {
-		c.CacheEntries = 4096
-	}
-	if c.StepDuration <= 0 {
-		c.StepDuration = 40 * time.Millisecond
-	}
-	if c.IngestCost <= 0 {
-		c.IngestCost = 180 * time.Millisecond
-	}
-	if c.ParityMemCap == 0 {
-		c.ParityMemCap = 256 << 20
-	}
-	if c.BatchSize == 0 {
-		c.BatchSize = 20
-	}
-	if c.BatchTimeout <= 0 {
-		c.BatchTimeout = 15 * time.Millisecond
-	}
-	if c.ViewTimeout <= 0 {
-		c.ViewTimeout = 400 * time.Millisecond
 	}
 	if c.RPCLatency == 0 {
 		c.RPCLatency = 200 * time.Microsecond
@@ -125,40 +105,33 @@ func (c *Config) fill() error {
 	return nil
 }
 
-// defaultMemModel returns the per-platform simulated memory model fitted
-// to the paper's CPUHeavy measurements at the repository's 1/100 input
-// scale (see EXPERIMENTS.md).
-func defaultMemModel(kind Kind) exec.MemModel {
-	switch kind {
-	case Ethereum:
-		// geth: ~2.1 KB resident per sorted element (22.8 GB at 10M).
-		return exec.MemModel{Base: 20 << 20, Factor: 262, Cap: 320 << 20}
-	case Parity:
-		// Parity: ~135 B per element (13 GB at 100M).
-		return exec.MemModel{Base: 6 << 20, Factor: 17, Cap: 320 << 20}
-	default:
-		return exec.MemModel{}
-	}
-}
-
 // Cluster is a running N-node deployment of one platform.
 type Cluster struct {
-	Kind  Kind
-	Net   *simnet.Network
-	nodes []*node.Node
-	chains []*ledger.Chain
-	stores []kvstore.Store
-	engines []exec.Engine
+	Kind     Kind
+	Net      *simnet.Network
+	preset   *Preset
+	nodes    []*node.Node
+	chains   []*ledger.Chain
+	stores   []kvstore.Store
+	engines  []exec.Engine
 	nodeKeys []*crypto.Key
-	cfg    Config
+	cfg      Config
 }
 
-// New builds (but does not start) a cluster.
+// New builds (but does not start) a cluster of the registered platform
+// named by cfg.Kind.
 func New(cfg Config) (*Cluster, error) {
+	p, err := Lookup(cfg.Kind)
+	if err != nil {
+		return nil, err
+	}
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
-	c := &Cluster{Kind: cfg.Kind, cfg: cfg}
+	if p.Fill != nil {
+		p.Fill(&cfg)
+	}
+	c := &Cluster{Kind: cfg.Kind, preset: p, cfg: cfg}
 	c.Net = simnet.New(cfg.Net)
 
 	peers := make([]simnet.NodeID, cfg.Nodes)
@@ -166,22 +139,27 @@ func New(cfg Config) (*Cluster, error) {
 		peers[i] = simnet.NodeID(i)
 	}
 	// Node identities are deterministic so repeated runs are comparable.
-	authorities := make([]types.Address, cfg.Nodes)
+	env := &Env{
+		Authorities: make([]types.Address, cfg.Nodes),
+		Keyring:     make(map[types.Address]*crypto.Key, len(cfg.ClientKeys)),
+	}
 	c.nodeKeys = make([]*crypto.Key, cfg.Nodes)
 	for i := range c.nodeKeys {
 		c.nodeKeys[i] = crypto.DeterministicKey(uint64(1000 + i))
-		authorities[i] = c.nodeKeys[i].Address()
+		env.Authorities[i] = c.nodeKeys[i].Address()
 	}
 
 	alloc := make(map[types.Address]uint64, len(cfg.ClientKeys))
-	keyring := make(map[types.Address]*crypto.Key, len(cfg.ClientKeys))
 	for _, k := range cfg.ClientKeys {
 		alloc[k.Address()] = cfg.GenesisBalance
-		keyring[k.Address()] = k
+		env.Keyring[k.Address()] = k
 	}
+	// Every participant is authenticated in a permissioned deployment.
+	env.Keys = append(env.Keys, cfg.ClientKeys...)
+	env.Keys = append(env.Keys, c.nodeKeys...)
 
 	for i := 0; i < cfg.Nodes; i++ {
-		n, err := c.buildNode(i, peers, authorities, alloc, keyring)
+		n, err := c.buildNode(i, peers, env, alloc)
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -191,124 +169,57 @@ func New(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
-func (c *Cluster) openStore(i int) (kvstore.Store, error) {
-	cfg := c.cfg
-	if cfg.Kind == Parity {
-		// "In Parity, the entire block content is kept in memory" — a
-		// capped in-memory store; exhausting it is the paper's OOM 'X'.
-		s := kvstore.NewMemCapped(cfg.ParityMemCap)
-		c.stores = append(c.stores, s)
-		return s, nil
+// buildNode assembles node i from the preset's hooks.
+func (c *Cluster) buildNode(i int, peers []simnet.NodeID, env *Env,
+	alloc map[types.Address]uint64) (*node.Node, error) {
+
+	cfg := &c.cfg
+	p := c.preset
+
+	openStore := p.OpenStore
+	if openStore == nil {
+		openStore = defaultOpenStore
 	}
-	if cfg.DataDir == "" {
-		s := kvstore.NewMem()
-		c.stores = append(c.stores, s)
-		return s, nil
-	}
-	s, err := kvstore.OpenLSM(filepath.Join(cfg.DataDir, fmt.Sprintf("node-%d", i)), kvstore.LSMOptions{})
+	store, err := openStore(cfg, i)
 	if err != nil {
 		return nil, err
 	}
-	c.stores = append(c.stores, s)
-	return s, nil
-}
+	c.stores = append(c.stores, store)
 
-func (c *Cluster) buildNode(i int, peers []simnet.NodeID, authorities []types.Address,
-	alloc map[types.Address]uint64, keyring map[types.Address]*crypto.Key) (*node.Node, error) {
-
-	cfg := c.cfg
-	store, err := c.openStore(i)
-	if err != nil {
-		return nil, err
+	mem := exec.MemModel{}
+	if p.MemModel != nil {
+		mem = p.MemModel(cfg)
 	}
-
-	// Execution engine.
-	var eng exec.Engine
-	mem := defaultMemModel(cfg.Kind)
 	if cfg.MemModel != nil {
 		mem = *cfg.MemModel
 	}
-	if cfg.Kind == Hyperledger {
-		eng, err = exec.NewNativeEngine(cfg.Contracts...)
-	} else {
-		// Chaincode-only contracts (VersionKVStore) have no EVM build;
-		// deploy only what the platform can run, as in the paper.
-		var evmNames []string
-		for _, name := range cfg.Contracts {
-			spec, lerr := contracts.Lookup(name)
-			if lerr != nil {
-				return nil, lerr
-			}
-			if spec.EVM != nil {
-				evmNames = append(evmNames, name)
-			}
-		}
-		eng, err = exec.NewEVMEngine(mem, evmNames...)
-	}
+	eng, err := p.NewEngine(cfg, mem)
 	if err != nil {
 		return nil, err
 	}
 	c.engines = append(c.engines, eng)
 
-	// State factory.
-	var factory func(root types.Hash) (*state.DB, error)
-	switch cfg.Kind {
-	case Ethereum:
-		// One long-lived LRU per node, shared across block executions —
-		// geth's partial in-memory state ("using LRU for eviction").
-		var cache *state.SharedCache
-		if cfg.CacheEntries > 0 {
-			cache = state.NewSharedCache(cfg.CacheEntries)
-		}
-		factory = func(root types.Hash) (*state.DB, error) {
-			b, err := state.NewTrieBackendShared(store, root, cache)
-			if err != nil {
-				return nil, err
-			}
-			return state.NewDB(b), nil
-		}
-	case Parity:
-		factory = func(root types.Hash) (*state.DB, error) {
-			b, err := state.NewTrieBackend(store, root, 0)
-			if err != nil {
-				return nil, err
-			}
-			return state.NewDB(b), nil
-		}
-	case Hyperledger:
-		// Bucket tree keeps no versions: one long-lived DB per node.
-		b, err := state.NewBucketBackend(store, bmt.Options{})
-		if err != nil {
-			return nil, err
-		}
-		db := state.NewDB(b)
-		factory = func(types.Hash) (*state.DB, error) { return db, nil }
-	default:
-		return nil, fmt.Errorf("platform: unknown kind %q", cfg.Kind)
+	factory, err := p.NewStateFactory(cfg, store)
+	if err != nil {
+		return nil, err
 	}
 
-	// Every participant is authenticated in a permissioned deployment.
-	reg := crypto.NewRegistry()
-	for _, k := range cfg.ClientKeys {
-		reg.Add(k)
-	}
-	for _, k := range c.nodeKeys {
-		reg.Add(k)
-	}
+	// Per-node registry: verification results are cached per transaction,
+	// so sharing one registry would let N-1 nodes skip the signature
+	// check the simulation charges each node for.
+	reg := env.newRegistry()
 
 	pool := txpool.New(1 << 20)
-	// Only Ethereum bounds blocks by gas; Parity's block size is set by
-	// stepDuration and Hyperledger's by the PBFT batch size.
-	ledgerGas := uint64(0)
-	if cfg.Kind == Ethereum {
-		ledgerGas = cfg.GasLimit
+	var ledgerGas uint64
+	if p.GasLimit != nil {
+		ledgerGas = p.GasLimit(cfg)
 	}
 	chain, err := ledger.New(ledger.Config{
 		Engine:        eng,
 		StateFactory:  factory,
 		Registry:      reg,
 		GasLimit:      ledgerGas,
-		SupportsForks: cfg.Kind != Hyperledger,
+		SupportsForks: p.SupportsForks,
 		GenesisAlloc:  alloc,
 		OnInclude:     pool.MarkIncluded,
 		OnReorg:       pool.Reinject,
@@ -318,36 +229,9 @@ func (c *Cluster) buildNode(i int, peers []simnet.NodeID, authorities []types.Ad
 	}
 	c.chains = append(c.chains, chain)
 
-	newCons := func(ctx consensus.Context) consensus.Engine {
-		switch cfg.Kind {
-		case Ethereum:
-			opts := pow.DefaultOptions()
-			opts.TargetInterval = cfg.BlockInterval
-			opts.GasLimit = cfg.GasLimit
-			opts.MaxTxsPerBlock = cfg.MaxTxsPerBlock
-			opts.Mine = !cfg.DisableMining
-			return pow.New(ctx, opts)
-		case Parity:
-			return poa.New(ctx, poa.Options{
-				StepDuration:   cfg.StepDuration,
-				Authorities:    authorities,
-				MaxTxsPerBlock: cfg.MaxTxsPerBlock,
-			})
-		default:
-			opts := pbft.DefaultOptions()
-			opts.BatchSize = cfg.BatchSize
-			opts.BatchTimeout = cfg.BatchTimeout
-			opts.ViewTimeout = cfg.ViewTimeout
-			return pbft.New(ctx, opts)
-		}
-	}
-
 	depth := uint64(0)
-	switch cfg.Kind {
-	case Ethereum:
-		depth = 2 // confirmationLength: 5s paper / 2.5s blocks, scaled
-	case Parity:
-		depth = 5 // 5s / 1s steps, scaled
+	if p.ConfirmationDepth != nil {
+		depth = p.ConfirmationDepth(cfg)
 	}
 	if cfg.ConfirmationDepth != nil {
 		depth = *cfg.ConfirmationDepth
@@ -360,24 +244,26 @@ func (c *Cluster) buildNode(i int, peers []simnet.NodeID, authorities []types.Ad
 		Chain:             chain,
 		Pool:              pool,
 		Exec:              eng,
-		NewConsensus:      newCons,
+		NewConsensus:      p.NewConsensus(cfg, env),
 		Peers:             peers,
 		RPCLatency:        cfg.RPCLatency,
 		ConfirmationDepth: depth,
 	}
-	if cfg.Kind == Parity {
+	if p.ServerSigns {
 		ncfg.ServerSigns = true
 		ncfg.IngestCost = cfg.IngestCost
-		ncfg.Keyring = keyring
+		ncfg.Keyring = env.Keyring
 	}
-	if cfg.Kind == Hyperledger {
-		// Fabric validates transactions as they arrive; the work lands
-		// on the node's message-processing thread.
+	if p.VerifyIngress {
 		ncfg.VerifyIngress = true
 		ncfg.Registry = reg
 	}
 	return node.New(ncfg), nil
 }
+
+// ServerSigns reports whether this platform signs transactions inside
+// the server (Parity); clients then submit unsigned transactions.
+func (c *Cluster) ServerSigns() bool { return c.preset.ServerSigns }
 
 // Start launches every node.
 func (c *Cluster) Start() {

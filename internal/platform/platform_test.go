@@ -20,17 +20,19 @@ func clientKeys(n int) []*crypto.Key {
 // fastConfig shrinks timings so integration tests stay quick.
 func fastConfig(kind Kind, nodes int, keys []*crypto.Key) Config {
 	return Config{
-		Kind:           kind,
-		Nodes:          nodes,
-		Contracts:      []string{"ycsb", "donothing"},
-		ClientKeys:     keys,
-		GenesisBalance: 1_000_000,
-		BlockInterval:  40 * time.Millisecond,
-		StepDuration:   20 * time.Millisecond,
-		IngestCost:     time.Millisecond,
-		BatchTimeout:   5 * time.Millisecond,
-		ViewTimeout:    200 * time.Millisecond,
-		RPCLatency:     time.Microsecond,
+		Kind:              kind,
+		Nodes:             nodes,
+		Contracts:         []string{"ycsb", "donothing"},
+		ClientKeys:        keys,
+		GenesisBalance:    1_000_000,
+		BlockInterval:     40 * time.Millisecond,
+		StepDuration:      20 * time.Millisecond,
+		IngestCost:        time.Millisecond,
+		BatchTimeout:      5 * time.Millisecond,
+		ViewTimeout:       200 * time.Millisecond,
+		ElectionTimeout:   80 * time.Millisecond,
+		HeartbeatInterval: 5 * time.Millisecond,
+		RPCLatency:        time.Microsecond,
 	}
 }
 
@@ -197,6 +199,33 @@ func TestHyperledgerStallsWithoutQuorum(t *testing.T) {
 	}
 }
 
+// waitHeights polls until every listed node's canonical chain reaches
+// target. Partition/fork tests key off observed chain growth instead of
+// fixed sleeps: PoW mining speed varies with the host, so a timed window
+// can close before a slow half has mined anything (the old flake — both
+// fork tests saw zero stale blocks on slow machines).
+func waitHeights(t *testing.T, c *Cluster, nodes []int, target uint64) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		ok := true
+		for _, i := range nodes {
+			if c.Chain(i).Height() < target {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, i := range nodes {
+		t.Logf("node %d height=%d (want %d)", i, c.Chain(i).Height(), target)
+	}
+	t.Fatal("chains never reached the target height")
+}
+
 func TestEthereumPartitionForksAndHeals(t *testing.T) {
 	keys := clientKeys(2)
 	cfg := fastConfig(Ethereum, 4, keys)
@@ -207,33 +236,59 @@ func TestEthereumPartitionForksAndHeals(t *testing.T) {
 	defer func() { c.Stop(); c.Close() }()
 	c.Start()
 
-	time.Sleep(400 * time.Millisecond) // mine a common prefix
+	// Mine a common prefix that reaches every node.
+	waitHeights(t, c, []int{0, 1, 2, 3}, 1)
 	c.PartitionHalves(2)
-	time.Sleep(600 * time.Millisecond) // both halves mine independently
-	c.Heal()
-	time.Sleep(1200 * time.Millisecond) // sync and reorg
 
+	// Both halves must demonstrably mine past the fork point before the
+	// partition heals; two blocks per side guarantees at least two blocks
+	// end up stale whichever side wins.
+	forkBase := uint64(0)
+	for i := 0; i < c.Size(); i++ {
+		if h := c.Chain(i).Height(); h > forkBase {
+			forkBase = h
+		}
+	}
+	waitHeights(t, c, []int{0, 2}, forkBase+2)
+	c.Heal()
+
+	// Healing does not proactively re-gossip: the minority adopts the
+	// winning branch when the next mined block arrives with an unknown
+	// parent and triggers catch-up sync. Poll until all nodes agree on a
+	// buried block (mining keeps the very tip racing).
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		minH := c.Chain(0).Height()
+		for i := 1; i < c.Size(); i++ {
+			if h := c.Chain(i).Height(); h < minH {
+				minH = h
+			}
+		}
+		converged := minH > forkBase+3
+		if converged {
+			ref, _ := c.Chain(0).GetBlock(minH - 3)
+			for i := 1; i < c.Size(); i++ {
+				b, ok := c.Chain(i).GetBlock(minH - 3)
+				if !ok || b.Hash() != ref.Hash() {
+					converged = false
+					break
+				}
+			}
+		}
+		if converged {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("nodes never converged after heal (min height %d)", minH)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The losing branch's blocks stay known on the nodes that mined them:
+	// the union across nodes must exceed the main chain.
 	total, main := c.ForkStats()
 	if total <= main {
 		t.Fatalf("expected stale blocks after partition: total=%d main=%d", total, main)
-	}
-	// All nodes converge on a common chain after healing; mining keeps
-	// the very tip racing, so compare a block buried a few deep.
-	minH := c.Chain(0).Height()
-	for i := 1; i < c.Size(); i++ {
-		if h := c.Chain(i).Height(); h < minH {
-			minH = h
-		}
-	}
-	if minH < 5 {
-		t.Fatalf("chain too short to check convergence: %d", minH)
-	}
-	ref, _ := c.Chain(0).GetBlock(minH - 3)
-	for i := 1; i < c.Size(); i++ {
-		b, ok := c.Chain(i).GetBlock(minH - 3)
-		if !ok || b.Hash() != ref.Hash() {
-			t.Fatalf("node %d did not converge at height %d", i, minH-3)
-		}
 	}
 }
 

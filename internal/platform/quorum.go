@@ -1,0 +1,62 @@
+package platform
+
+import (
+	"time"
+
+	"blockbench/internal/consensus"
+	"blockbench/internal/consensus/raft"
+)
+
+// Quorum is the Raft-ordered preset: a geth-lineage platform (trie
+// state, EVM execution, client-side signing) whose consensus is Raft —
+// crash-fault-tolerant leader-based ordering instead of PoW. It mirrors
+// how real permissioned stacks (JPMC Quorum, Fabric v1 Kafka ordering)
+// moved from Byzantine agreement to cheaper ordering for throughput:
+// O(N) replication messages per batch and immediate finality, at the
+// price of tolerating only crash faults (f < N/2, no Byzantine nodes).
+const Quorum Kind = "quorum"
+
+func quorumPreset() *Preset {
+	return &Preset{
+		Kind:     Quorum,
+		Describe: "Quorum (geth fork): Raft-ordered CFT consensus, trie state, EVM",
+		// Raft never forks, but the trie keeps historical roots, so the
+		// ledger's versioned-state queries (analytics Q2) stay available.
+		SupportsForks: true,
+		Fill: func(cfg *Config) {
+			if cfg.CacheEntries == 0 {
+				cfg.CacheEntries = 4096
+			}
+			if cfg.BatchSize == 0 {
+				cfg.BatchSize = 20
+			}
+			if cfg.BatchTimeout <= 0 {
+				cfg.BatchTimeout = 10 * time.Millisecond
+			}
+			if cfg.ElectionTimeout <= 0 {
+				cfg.ElectionTimeout = 300 * time.Millisecond
+			}
+			if cfg.HeartbeatInterval <= 0 {
+				cfg.HeartbeatInterval = 20 * time.Millisecond
+			}
+		},
+		// Same geth lineage as the Ethereum preset: EVM, trie state with
+		// a shared per-node LRU, and the geth memory cost model.
+		MemModel:        gethMemModel,
+		NewEngine:       newEVMEngine,
+		NewStateFactory: trieSharedStateFactory,
+		// Blocks are batch-bounded like PBFT, not gas-bounded (no
+		// GasLimit hook), and final on commit: no confirmation depth.
+		NewConsensus: func(cfg *Config, _ *Env) func(consensus.Context) consensus.Engine {
+			return func(ctx consensus.Context) consensus.Engine {
+				opts := raft.DefaultOptions()
+				opts.ElectionTimeout = cfg.ElectionTimeout
+				opts.Heartbeat = cfg.HeartbeatInterval
+				opts.BatchSize = cfg.BatchSize
+				opts.BatchTimeout = cfg.BatchTimeout
+				opts.Seed = cfg.Net.Seed
+				return raft.New(ctx, opts)
+			}
+		},
+	}
+}

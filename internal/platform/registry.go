@@ -1,0 +1,185 @@
+package platform
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"blockbench/internal/consensus"
+	"blockbench/internal/contracts"
+	"blockbench/internal/crypto"
+	"blockbench/internal/exec"
+	"blockbench/internal/kvstore"
+	"blockbench/internal/state"
+	"blockbench/internal/types"
+)
+
+// StateFactory opens a state database at the given root (one factory per
+// node; platforms without state versioning may return a singleton).
+type StateFactory func(root types.Hash) (*state.DB, error)
+
+// Env carries the cluster-level identity material presets may need when
+// assembling a node: the deterministic node identities (PoA authorities,
+// Raft/PBFT replica set), the account keyring for server-side signing,
+// and the keys of every authenticated participant.
+type Env struct {
+	// Authorities are the node identities in node-index order.
+	Authorities []types.Address
+	// Keyring maps client accounts to their keys (server-side signing).
+	Keyring map[types.Address]*crypto.Key
+	// Keys holds every participant (clients then nodes). Registries are
+	// built per node from this list: crypto.Registry caches verification
+	// per transaction, and each node must pay the signature-check cost
+	// itself, as in the real systems.
+	Keys []*crypto.Key
+}
+
+// newRegistry builds one node's signature registry over all
+// participants.
+func (env *Env) newRegistry() *crypto.Registry {
+	reg := crypto.NewRegistry()
+	for _, k := range env.Keys {
+		reg.Add(k)
+	}
+	return reg
+}
+
+// Preset describes how one platform kind is assembled from the substrate
+// packages: which state store and state organization it uses, which
+// execution engine and per-element memory cost model, which consensus
+// protocol, and how its nodes ingest transactions. Register a Preset to
+// plug a new platform into the framework — the driver, workloads,
+// experiments and CLI pick it up through platform.Kinds.
+type Preset struct {
+	// Kind is the registry key (the CLI's -platform value).
+	Kind Kind
+	// Describe is a one-line summary shown in CLI usage listings.
+	Describe string
+
+	// ServerSigns moves transaction signing into the server's serial
+	// ingestion path (Parity); clients submit unsigned transactions.
+	ServerSigns bool
+	// VerifyIngress makes nodes verify transaction signatures as they
+	// arrive on the dispatch thread (Fabric).
+	VerifyIngress bool
+	// SupportsForks enables side chains and reorgs in the ledger (PoW,
+	// PoA). Agreement-based platforms (PBFT, Raft) never fork.
+	SupportsForks bool
+
+	// Fill applies the preset's default tuning to zero Config fields.
+	Fill func(cfg *Config)
+	// MemModel returns the simulated execution-memory cost model (zero
+	// value disables memory accounting). Optional.
+	MemModel func(cfg *Config) exec.MemModel
+	// OpenStore opens node i's storage engine. Optional: the default is
+	// an in-memory map, or the LSM engine when cfg.DataDir is set.
+	OpenStore func(cfg *Config, i int) (kvstore.Store, error)
+	// NewEngine builds a node's execution engine.
+	NewEngine func(cfg *Config, mem exec.MemModel) (exec.Engine, error)
+	// NewStateFactory builds the per-node state-database factory over the
+	// node's store.
+	NewStateFactory func(cfg *Config, store kvstore.Store) (StateFactory, error)
+	// GasLimit is the ledger's block gas limit (0 = unbounded). Optional.
+	GasLimit func(cfg *Config) uint64
+	// ConfirmationDepth hides the newest blocks from pollers until buried
+	// this deep. Optional (default 0: immediate confirmation).
+	ConfirmationDepth func(cfg *Config) uint64
+	// NewConsensus builds the factory producing one node's consensus
+	// engine; env carries the cluster identity material.
+	NewConsensus func(cfg *Config, env *Env) func(consensus.Context) consensus.Engine
+}
+
+var (
+	regMu   sync.RWMutex
+	presets = make(map[Kind]*Preset)
+	// regOrder preserves registration order for Kinds (presentation
+	// order: the paper's three platforms first, then extensions).
+	regOrder []Kind
+)
+
+// Register plugs a platform preset into the framework. It errors on a
+// duplicate or empty kind and on missing mandatory hooks.
+func Register(p *Preset) error {
+	if p == nil || p.Kind == "" {
+		return fmt.Errorf("platform: Register: empty kind")
+	}
+	if p.NewEngine == nil || p.NewStateFactory == nil || p.NewConsensus == nil {
+		return fmt.Errorf("platform: Register(%q): NewEngine, NewStateFactory and NewConsensus are mandatory", p.Kind)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := presets[p.Kind]; dup {
+		return fmt.Errorf("platform: Register(%q): already registered", p.Kind)
+	}
+	presets[p.Kind] = p
+	regOrder = append(regOrder, p.Kind)
+	return nil
+}
+
+// MustRegister is Register for package init blocks: it panics on error.
+func MustRegister(p *Preset) {
+	if err := Register(p); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the preset registered for a kind.
+func Lookup(kind Kind) (*Preset, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	p, ok := presets[kind]
+	if !ok {
+		known := make([]string, 0, len(presets))
+		for k := range presets {
+			known = append(known, string(k))
+		}
+		sort.Strings(known)
+		return nil, fmt.Errorf("platform: unknown kind %q (registered: %v)", kind, known)
+	}
+	return p, nil
+}
+
+// Kinds lists registered presets in registration order.
+func Kinds() []Kind {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return append([]Kind(nil), regOrder...)
+}
+
+// Describe returns the one-line summary of a registered kind ("" if
+// unknown).
+func Describe(kind Kind) string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	if p, ok := presets[kind]; ok {
+		return p.Describe
+	}
+	return ""
+}
+
+// defaultOpenStore is the shared storage policy: in-memory maps, or the
+// LSM engine (one directory per node) when DataDir is set.
+func defaultOpenStore(cfg *Config, i int) (kvstore.Store, error) {
+	if cfg.DataDir == "" {
+		return kvstore.NewMem(), nil
+	}
+	return kvstore.OpenLSM(filepath.Join(cfg.DataDir, fmt.Sprintf("node-%d", i)), kvstore.LSMOptions{})
+}
+
+// evmContracts filters cfg.Contracts down to those with an EVM build:
+// chaincode-only contracts (VersionKVStore) have no EVM deployment, so
+// EVM platforms run only what they can, as in the paper.
+func evmContracts(cfg *Config) ([]string, error) {
+	var names []string
+	for _, name := range cfg.Contracts {
+		spec, err := contracts.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		if spec.EVM != nil {
+			names = append(names, name)
+		}
+	}
+	return names, nil
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"blockbench/internal/consensus/pow"
+	"blockbench/internal/consensus/raft"
 	"blockbench/internal/exec"
 )
 
@@ -58,6 +59,11 @@ type Report struct {
 	// spent inside contract execution.
 	PowHashes uint64
 	ExecTime  time.Duration
+
+	// Elections counts leader elections started across the cluster
+	// during the run (Raft-ordered platforms; 0 elsewhere). A stable
+	// cluster elects once and then only heartbeats.
+	Elections uint64
 }
 
 // BlockRate returns blocks per second over the run.
@@ -92,13 +98,17 @@ func (r *Report) String() string {
 type resources struct {
 	powHashes uint64
 	execTime  time.Duration
+	elections uint64
 }
 
 func resourceSnapshot(c *Cluster) resources {
 	var out resources
 	for i := 0; i < c.Size(); i++ {
-		if e, ok := c.inner.Node(i).Consensus().(*pow.Engine); ok {
+		switch e := c.inner.Node(i).Consensus().(type) {
+		case *pow.Engine:
 			out.powHashes += e.Hashes()
+		case *raft.Engine:
+			out.elections += e.Elections()
 		}
 		switch e := c.inner.Engine(i).(type) {
 		case *exec.EVMEngine:
