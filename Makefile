@@ -24,9 +24,13 @@ race:
 
 # BENCH_ci.json holds the run in go's test2json NDJSON form: one event
 # per line, with the benchmark metric lines ("BenchmarkX ... ns/op") in
-# the output events. -benchtime=1x keeps this a smoke pass.
+# the output events. -benchtime=1x keeps this a smoke pass. Alongside
+# the root figure benchmarks (which now include the driver submission
+# pipeline) it runs the txpool contention benchmarks, so the sharded
+# pool's before/after trajectory against the single-mutex baseline
+# accumulates across PRs.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x -timeout 60m -json . > BENCH_ci.json
+	$(GO) test -run '^$$' -bench . -benchtime 1x -timeout 60m -json . ./internal/txpool > BENCH_ci.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_ci.json | sed 's/"Output":"//;s/\\n$$//' || true
 
 clean:

@@ -6,7 +6,28 @@ import (
 	"time"
 
 	"blockbench/internal/types"
+	"blockbench/internal/workload"
 )
+
+func init() {
+	workload.MustRegister(workload.Spec{
+		Name:        "analytics",
+		Description: "OLAP micro benchmark: preloaded historical chain plus the Q1/Q2 scan queries",
+		Contracts:   []string{"versionkv"},
+		New: func(opts workload.Options) (any, error) {
+			d := workload.NewDecoder(opts)
+			a := &Analytics{
+				Blocks:     d.Int("blocks", 0),
+				TxPerBlock: d.Int("txperblock", 0),
+				Accounts:   d.Int("accounts", 0),
+			}
+			if err := d.Finish(); err != nil {
+				return nil, err
+			}
+			return a, nil
+		},
+	})
+}
 
 // Analytics is the OLAP micro benchmark (§3.4.2): the chain is preloaded
 // with blocks of value-transfer transactions among a fixed account set,
@@ -144,6 +165,12 @@ func (a *Analytics) Q2(client *Client, acct Address, from, to uint64) (largest u
 // Next implements Workload formally; Analytics is query-driven, so the
 // driver loop is not used. It returns a no-op value transfer.
 func (a *Analytics) Next(clientID int, rng *rand.Rand) Op {
+	if len(a.accts) == 0 {
+		// Init never ran (SkipInit): the account set only exists after
+		// preload, so degrade to burning value transfers instead of
+		// panicking inside the driver.
+		return Op{Value: 1}
+	}
 	return Op{To: a.accts[rng.Intn(len(a.accts))], Value: 1}
 }
 

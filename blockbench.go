@@ -14,9 +14,11 @@
 //     asynchronous transaction submission plus the block-range polling
 //     (getLatestBlock) that the paper's driver uses.
 //   - Workload is IWorkloadConnector: it supplies the next transaction.
-//     YCSB, Smallbank, EtherId, Doubler, WavesPresale, DoNothing, IOHeavy
-//     and CPUHeavy ship with the framework; Analytics Q1/Q2 have direct
-//     helpers.
+//     Workloads live on a registry mirroring the platform one
+//     (RegisterWorkload / NewWorkload): YCSB, Smallbank, EtherId,
+//     Doubler, WavesPresale, DoNothing, IOHeavy, CPUHeavy, Analytics
+//     and the read-mostly ycsb-scan variant ship registered; framework
+//     users plug in their own the same way.
 //   - Run is the benchmark driver: multiple clients, multiple threads,
 //     open- or closed-loop, collecting throughput, latency, queue and
 //     commit time series, fork and resource statistics.

@@ -37,6 +37,10 @@ type Client struct {
 // ID returns the client's index.
 func (c *Client) ID() int { return c.id }
 
+// Server returns the index of the server node this client submits to
+// and polls.
+func (c *Client) Server() int { return int(c.node.ID()) }
+
 // Address returns the client's account address.
 func (c *Client) Address() Address { return c.key.Address() }
 

@@ -1,23 +1,27 @@
 // Command blockbench runs one workload against one simulated platform
 // and prints the run's metrics — the CLI face of the framework's driver.
 //
-// Platforms come from the pluggable registry (internal/platform): the
-// paper's ethereum, parity and hyperledger presets plus the Raft-ordered
-// quorum preset, and any backend registered by framework users.
+// Platforms and workloads both come from pluggable registries
+// (internal/platform, internal/workload): the paper's presets plus
+// anything framework users register. Workload parameters are generic
+// -wopt key=val pairs interpreted by the workload's factory, so a new
+// workload needs zero CLI edits.
 //
 // Examples:
 //
 //	blockbench -platform hyperledger -workload ycsb -nodes 8 -clients 8 -rate 128 -duration 12s
-//	blockbench -platform quorum -workload ycsb -nodes 4 -rate 64 -duration 5s
+//	blockbench -platform quorum -workload ycsb-scan -wopt scanlen=20 -wopt distribution=uniform
 //	blockbench -platform ethereum -workload smallbank -blocking -duration 10s
-//	blockbench -platform parity -workload donothing -rate 64
+//	blockbench -platform parity -workload ycsb -wopt readprop=0.9 -wopt updateprop=0.1
 //	blockbench -platforms
+//	blockbench -workloads
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -32,30 +36,69 @@ func platformNames() string {
 	return strings.Join(names, " | ")
 }
 
+// multiFlag collects repeated -wopt key=val arguments.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
 func main() {
+	var wopts multiFlag
 	var (
 		platformName = flag.String("platform", "hyperledger", platformNames())
-		workloadName = flag.String("workload", "ycsb", "ycsb | smallbank | etherid | doubler | wavespresale | donothing | ioheavy | cpuheavy")
+		workloadName = flag.String("workload", "ycsb", strings.Join(blockbench.Workloads(), " | "))
 		nodes        = flag.Int("nodes", 8, "number of server nodes")
 		clients      = flag.Int("clients", 8, "number of concurrent clients")
 		threads      = flag.Int("threads", 4, "submit threads per client")
 		rate         = flag.Float64("rate", 128, "offered load per client in tx/s (0 = max)")
 		duration     = flag.Duration("duration", 12*time.Second, "measurement window")
 		blocking     = flag.Bool("blocking", false, "closed loop: wait for each tx to commit")
-		records      = flag.Int("records", 1000, "YCSB records / Smallbank accounts to preload")
+		records      = flag.Int("records", 0, "shorthand for -wopt records=N (YCSB records / Smallbank accounts)")
 		seed         = flag.Int64("seed", 42, "workload RNG seed")
-		list         = flag.Bool("platforms", false, "list registered platforms and exit")
+		listP        = flag.Bool("platforms", false, "list registered platforms and exit")
+		listW        = flag.Bool("workloads", false, "list registered workloads and exit")
 	)
+	flag.Var(&wopts, "wopt", "workload option key=val (repeatable)")
 	flag.Parse()
 
-	if *list {
+	if *listP {
 		for _, k := range blockbench.Platforms() {
 			fmt.Printf("%-12s %s\n", k, blockbench.PlatformDescribe(k))
 		}
 		return
 	}
+	if *listW {
+		for _, name := range blockbench.Workloads() {
+			fmt.Printf("%-12s [%s] %s\n", name,
+				strings.Join(blockbench.WorkloadContracts(name), ","),
+				blockbench.WorkloadDescribe(name))
+		}
+		return
+	}
 
-	w, err := workloadByName(*workloadName, *records)
+	opts, err := blockbench.ParseWorkloadOptions(wopts)
+	if err != nil {
+		fatal(err)
+	}
+	injected := false
+	if *records > 0 {
+		if _, set := opts["records"]; !set {
+			opts["records"] = strconv.Itoa(*records)
+			injected = true
+		}
+	}
+	w, err := blockbench.NewWorkload(*workloadName, opts)
+	if err != nil && injected {
+		// The -records shorthand is best-effort, as before the generic
+		// options existed: workloads without a record volume ignore it.
+		// An explicit -wopt records=N stays strict.
+		delete(opts, "records")
+		w, err = blockbench.NewWorkload(*workloadName, opts)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -103,29 +146,6 @@ func main() {
 	}
 	fmt.Printf("  network: %.2f MB/s, %d msgs (%d dropped)\n",
 		report.NetworkMBps(), report.MsgsSent, report.MsgsDropped)
-}
-
-func workloadByName(name string, records int) (blockbench.Workload, error) {
-	switch name {
-	case "ycsb":
-		return &blockbench.YCSBWorkload{Records: records}, nil
-	case "smallbank":
-		return &blockbench.SmallbankWorkload{Accounts: records}, nil
-	case "etherid":
-		return &blockbench.EtherIdWorkload{}, nil
-	case "doubler":
-		return &blockbench.DoublerWorkload{}, nil
-	case "wavespresale":
-		return &blockbench.WavesWorkload{}, nil
-	case "donothing":
-		return blockbench.DoNothingWorkload{}, nil
-	case "ioheavy":
-		return &blockbench.IOHeavyWorkload{Write: true, TuplesPerTx: 1000}, nil
-	case "cpuheavy":
-		return &blockbench.CPUHeavyWorkload{N: 10000}, nil
-	default:
-		return nil, fmt.Errorf("unknown workload %q", name)
-	}
 }
 
 func fatal(err error) {

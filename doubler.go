@@ -1,0 +1,45 @@
+package blockbench
+
+import (
+	"math/rand"
+
+	"blockbench/internal/workload"
+)
+
+func init() {
+	workload.MustRegister(workload.Spec{
+		Name:        "doubler",
+		Description: "pyramid-scheme contract: every transaction is an enter() carrying value",
+		Contracts:   []string{"doubler"},
+		New: func(opts workload.Options) (any, error) {
+			d := workload.NewDecoder(opts)
+			w := &DoublerWorkload{Stake: d.Uint64("stake", 0)}
+			if err := d.Finish(); err != nil {
+				return nil, err
+			}
+			return w, nil
+		},
+	})
+}
+
+// DoublerWorkload drives the pyramid-scheme contract: every transaction
+// is an enter() carrying value.
+type DoublerWorkload struct{ Stake uint64 }
+
+// Name implements Workload.
+func (w *DoublerWorkload) Name() string { return "doubler" }
+
+// Contracts implements Workload.
+func (w *DoublerWorkload) Contracts() []string { return []string{"doubler"} }
+
+// Init implements Workload.
+func (w *DoublerWorkload) Init(c *Cluster, rng *rand.Rand) error { return nil }
+
+// Next implements Workload.
+func (w *DoublerWorkload) Next(clientID int, rng *rand.Rand) Op {
+	stake := w.Stake
+	if stake == 0 {
+		stake = 10
+	}
+	return Op{Contract: "doubler", Method: "enter", Value: stake}
+}

@@ -20,8 +20,9 @@ type Workload interface {
 	// Init pre-loads the blockchain (records, accounts, history) before
 	// measurement starts.
 	Init(c *Cluster, rng *rand.Rand) error
-	// Next returns the next operation for the given client. It is
-	// called from one goroutine per client.
+	// Next returns the next operation for the given client. Open-loop
+	// runs call it from one generator goroutine per client; blocking
+	// runs call it from every submit thread of the client.
 	Next(clientID int, rng *rand.Rand) Op
 }
 
@@ -74,21 +75,32 @@ func (cfg *RunConfig) fill() {
 	}
 }
 
-// clientState tracks one client's outstanding transactions and local
-// send queue (the paper's Fig 6/18 queue-length metric counts both).
+// clientState is one client's leg of the submission pipeline:
+//
+//	generator -> submitCh (bounded) -> sender workers -> outstanding
+//
+// The generator owns any overflow beyond the channel's capacity, so the
+// hot path between generator and senders is a plain channel with no
+// shared lock; the mutex guards only the outstanding map, which the
+// confirmation poller drains. The paper's Fig 6/18 queue-length metric
+// counts every stage: overflow + channel + in-flight + outstanding.
 type clientState struct {
 	client *Client
+	server int // server index, for grouping confirmation pollers
+
+	submitCh chan Op
+	overflow atomic.Int64 // generated ops the channel had no room for
+	inflight atomic.Int64 // ops taken by a sender, not yet accepted
 
 	mu          sync.Mutex
-	queue       []Op // generated but not yet accepted by the server
 	outstanding map[Hash]time.Time
-	polledTo    uint64
 }
 
 func (cs *clientState) queueLen() int {
 	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	return len(cs.queue) + len(cs.outstanding)
+	n := len(cs.outstanding)
+	cs.mu.Unlock()
+	return n + len(cs.submitCh) + int(cs.overflow.Load()) + int(cs.inflight.Load())
 }
 
 // Run executes a workload against a started cluster and reports the
@@ -118,8 +130,11 @@ func Run(c *Cluster, w Workload, cfg RunConfig) (*Report, error) {
 
 	states := make([]*clientState, cfg.Clients)
 	for i := range states {
+		client := c.Client(i)
 		states[i] = &clientState{
-			client:      c.Client(i),
+			client:      client,
+			server:      client.Server(),
+			submitCh:    make(chan Op, cfg.Threads*4),
 			outstanding: make(map[Hash]time.Time),
 		}
 	}
@@ -128,19 +143,24 @@ func Run(c *Cluster, w Workload, cfg RunConfig) (*Report, error) {
 	stop := make(chan struct{})
 
 	if cfg.Blocking {
-		runBlocking(states, w, cfg, end, &wg, &committed, &submitted, &submitErrors, &latency)
+		runBlocking(states, w, cfg, end, stop, &wg, &committed, &submitted, &submitErrors, &latency)
+		// Senders abort their busy-retry loops once the window closes.
+		timer := time.AfterFunc(time.Until(end), func() { close(stop) })
+		defer timer.Stop()
 	} else {
 		runOpenLoop(states, w, cfg, end, stop, &wg, &submitted, &submitErrors)
-	}
-
-	// One poller per client matches the paper's driver: a polling thread
-	// invokes getLatestBlock(h) and matches returned transaction IDs
-	// against the outstanding queue.
-	if !cfg.Blocking {
+		// Confirmation polling is batched per server: every client on a
+		// node shares one BlocksFrom stream instead of issuing its own
+		// copy of the same RPC (the paper's getLatestBlock(h) poller).
+		byNode := make(map[int][]*clientState)
 		for _, cs := range states {
+			byNode[cs.server] = append(byNode[cs.server], cs)
+		}
+		for _, group := range byNode {
 			wg.Add(1)
-			go func(cs *clientState) {
+			go func(group []*clientState) {
 				defer wg.Done()
+				var polledTo uint64
 				tick := time.NewTicker(cfg.PollInterval)
 				defer tick.Stop()
 				for {
@@ -148,11 +168,13 @@ func Run(c *Cluster, w Workload, cfg RunConfig) (*Report, error) {
 					case <-stop:
 						return
 					case now := <-tick.C:
-						pollOnce(cs, now, &committed, &latency, commitSeries)
-						queueSeries.Sample(now, float64(cs.queueLen()))
+						polledTo = pollNode(group, polledTo, now, &committed, &latency, commitSeries)
+						for _, cs := range group {
+							queueSeries.Sample(now, float64(cs.queueLen()))
+						}
 					}
 				}
-			}(cs)
+			}(group)
 		}
 		// Close the run at the deadline.
 		time.Sleep(time.Until(end))
@@ -197,8 +219,36 @@ func Run(c *Cluster, w Workload, cfg RunConfig) (*Report, error) {
 	return r, nil
 }
 
-// runOpenLoop starts generators (one per client, producing at Rate) and
-// sender threads that drain each client's queue.
+// submitWithRetry is the submission core shared by the open-loop sender
+// workers and the blocking threads: it pushes one operation through
+// Client.Send, backing off exponentially while the server reports busy,
+// and gives up when stop closes.
+func submitWithRetry(cl *Client, op Op, stop <-chan struct{},
+	submitErrors *atomic.Uint64) (Hash, bool) {
+
+	backoff := time.Millisecond
+	for {
+		id, err := cl.Send(op)
+		if err == nil {
+			return id, true
+		}
+		// Server busy (Parity's admission cap) or down: the operation
+		// stays with this sender until accepted or the run ends.
+		submitErrors.Add(1)
+		select {
+		case <-stop:
+			return Hash{}, false
+		case <-time.After(backoff):
+		}
+		if backoff < 8*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// runOpenLoop starts the pipelines: one generator per client producing
+// at Rate into the bounded submit channel, and Threads sender workers
+// per client draining it.
 func runOpenLoop(states []*clientState, w Workload, cfg RunConfig, end time.Time,
 	stop chan struct{}, wg *sync.WaitGroup,
 	submitted, submitErrors *atomic.Uint64) {
@@ -209,33 +259,49 @@ func runOpenLoop(states []*clientState, w Workload, cfg RunConfig, end time.Time
 		go func(i int, cs *clientState, gen *rand.Rand) {
 			defer wg.Done()
 			if cfg.Rate <= 0 {
-				// As-fast-as-possible: keep a small standing queue.
+				// As-fast-as-possible: the bounded channel is the
+				// standing queue; its backpressure paces the generator.
 				for time.Now().Before(end) {
-					cs.mu.Lock()
-					n := len(cs.queue)
-					cs.mu.Unlock()
-					if n < cfg.Threads*4 {
-						op := w.Next(i, gen)
-						cs.mu.Lock()
-						cs.queue = append(cs.queue, op)
-						cs.mu.Unlock()
-					} else {
-						time.Sleep(200 * time.Microsecond)
+					op := w.Next(i, gen)
+					select {
+					case cs.submitCh <- op:
+					case <-stop:
+						return
 					}
 				}
 				return
 			}
+			// Paced generation: one operation per tick. When the
+			// channel is full (offered load above capacity) ops pile up
+			// in the generator-owned backlog, which is what the paper's
+			// queue-length figures measure growing without bound.
 			interval := time.Duration(float64(time.Second) / cfg.Rate)
 			tick := time.NewTicker(interval)
 			defer tick.Stop()
-			for now := range tick.C {
-				if now.After(end) {
+			var backlog []Op
+			for {
+				select {
+				case <-stop:
 					return
+				case now := <-tick.C:
+					if now.After(end) {
+						return
+					}
+					backlog = append(backlog, w.Next(i, gen))
+					for len(backlog) > 0 {
+						select {
+						case cs.submitCh <- backlog[0]:
+							backlog = backlog[1:]
+							continue
+						default:
+						}
+						break
+					}
+					if len(backlog) == 0 {
+						backlog = nil // let the drained backlog be reclaimed
+					}
+					cs.overflow.Store(int64(len(backlog)))
 				}
-				op := w.Next(i, gen)
-				cs.mu.Lock()
-				cs.queue = append(cs.queue, op)
-				cs.mu.Unlock()
 			}
 		}(i, cs, gen)
 
@@ -247,33 +313,16 @@ func runOpenLoop(states []*clientState, w Workload, cfg RunConfig, end time.Time
 					select {
 					case <-stop:
 						return
-					default:
+					case op := <-cs.submitCh:
+						cs.inflight.Add(1)
+						if id, ok := submitWithRetry(cs.client, op, stop, submitErrors); ok {
+							submitted.Add(1)
+							cs.mu.Lock()
+							cs.outstanding[id] = time.Now()
+							cs.mu.Unlock()
+						}
+						cs.inflight.Add(-1)
 					}
-					cs.mu.Lock()
-					if len(cs.queue) == 0 {
-						cs.mu.Unlock()
-						time.Sleep(500 * time.Microsecond)
-						continue
-					}
-					op := cs.queue[0]
-					cs.queue = cs.queue[1:]
-					cs.mu.Unlock()
-
-					id, err := cs.client.Send(op)
-					if err != nil {
-						// Server busy (Parity's admission cap) or down:
-						// the operation stays queued client-side.
-						submitErrors.Add(1)
-						cs.mu.Lock()
-						cs.queue = append([]Op{op}, cs.queue...)
-						cs.mu.Unlock()
-						time.Sleep(2 * time.Millisecond)
-						continue
-					}
-					submitted.Add(1)
-					cs.mu.Lock()
-					cs.outstanding[id] = time.Now()
-					cs.mu.Unlock()
 				}
 			}(cs)
 		}
@@ -281,9 +330,11 @@ func runOpenLoop(states []*clientState, w Workload, cfg RunConfig, end time.Time
 }
 
 // runBlocking implements the closed-loop latency mode: each thread
-// submits one transaction and polls until it commits.
+// submits one transaction through the shared submission core and polls
+// until it commits.
 func runBlocking(states []*clientState, w Workload, cfg RunConfig, end time.Time,
-	wg *sync.WaitGroup, committed, submitted, submitErrors *atomic.Uint64,
+	stop chan struct{}, wg *sync.WaitGroup,
+	committed, submitted, submitErrors *atomic.Uint64,
 	latency *metrics.Histogram) {
 
 	for i, cs := range states {
@@ -295,11 +346,9 @@ func runBlocking(states []*clientState, w Workload, cfg RunConfig, end time.Time
 				for time.Now().Before(end) {
 					op := w.Next(i, gen)
 					t0 := time.Now()
-					id, err := cs.client.Send(op)
-					if err != nil {
-						submitErrors.Add(1)
-						time.Sleep(2 * time.Millisecond)
-						continue
+					id, ok := submitWithRetry(cs.client, op, stop, submitErrors)
+					if !ok {
+						return
 					}
 					submitted.Add(1)
 					for time.Now().Before(end.Add(10 * time.Second)) {
@@ -320,30 +369,37 @@ func runBlocking(states []*clientState, w Workload, cfg RunConfig, end time.Time
 	}
 }
 
-// pollOnce advances one client's confirmation polling.
-func pollOnce(cs *clientState, now time.Time, committed *atomic.Uint64,
-	latency *metrics.Histogram, commitSeries *metrics.TimeSeries) {
+// pollNode advances one server's confirmation polling: a single
+// BlocksFrom batch is matched against the outstanding set of every
+// client attached to that server.
+func pollNode(group []*clientState, from uint64, now time.Time,
+	committed *atomic.Uint64, latency *metrics.Histogram,
+	commitSeries *metrics.TimeSeries) uint64 {
 
-	blocks, err := cs.client.BlocksFrom(cs.polledTo)
+	blocks, err := group[0].client.BlocksFrom(from)
 	if err != nil {
-		return
+		return from
 	}
 	for _, b := range blocks {
-		if b.Number > cs.polledTo {
-			cs.polledTo = b.Number
+		if b.Number > from {
+			from = b.Number
 		}
-		for _, id := range b.TxIDs {
+		for _, cs := range group {
+			var mine []time.Time
 			cs.mu.Lock()
-			t0, mine := cs.outstanding[id]
-			if mine {
-				delete(cs.outstanding, id)
+			for _, id := range b.TxIDs {
+				if t0, ok := cs.outstanding[id]; ok {
+					delete(cs.outstanding, id)
+					mine = append(mine, t0)
+				}
 			}
 			cs.mu.Unlock()
-			if mine {
+			for _, t0 := range mine {
 				latency.Observe(now.Sub(t0))
 				committed.Add(1)
 				commitSeries.Sample(now, 1)
 			}
 		}
 	}
+	return from
 }

@@ -5,7 +5,9 @@
 //
 // The workload reuses the YCSB key-value contract, so it needs no new
 // on-chain code; it demonstrates that adding a workload is just
-// implementing Name/Contracts/Init/Next.
+// implementing Name/Contracts/Init/Next — and that registering it with
+// blockbench.RegisterWorkload makes it buildable by name with generic
+// key=val options, exactly like the shipped workloads.
 package main
 
 import (
@@ -62,7 +64,29 @@ func deviceKey(dev int, seq uint64) []byte {
 }
 
 func main() {
-	w := &IoTWorkload{Devices: 32}
+	// Plug the workload into the registry, then build it by name — the
+	// same seam the blockbench CLI's -workload/-wopt flags resolve
+	// through, so a registered workload needs no CLI changes.
+	err := blockbench.RegisterWorkload(blockbench.WorkloadSpec{
+		Name:        "iot-telemetry",
+		Description: "sensors appending readings under device-scoped keys",
+		Contracts:   []string{"ycsb"},
+		New: func(opts blockbench.WorkloadOptions) (any, error) {
+			d := blockbench.NewWorkloadDecoder(opts)
+			w := &IoTWorkload{Devices: d.Int("devices", 32)}
+			if err := d.Finish(); err != nil {
+				return nil, err
+			}
+			return w, nil
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := blockbench.NewWorkload("iot-telemetry", blockbench.WorkloadOptions{"devices": "32"})
+	if err != nil {
+		log.Fatal(err)
+	}
 	cluster, err := blockbench.NewCluster(blockbench.ClusterConfig{
 		Kind:      blockbench.Parity, // low-latency PoA suits telemetry
 		Nodes:     4,

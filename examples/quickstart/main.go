@@ -12,9 +12,13 @@ import (
 )
 
 func main() {
-	// A workload declares the contracts it needs; the cluster deploys
-	// them (chaincode on Hyperledger, EVM bytecode elsewhere).
-	workload := &blockbench.YCSBWorkload{Records: 500}
+	// Workloads are built by name from the registry; a workload declares
+	// the contracts it needs and the cluster deploys them (chaincode on
+	// Hyperledger, EVM bytecode elsewhere).
+	workload, err := blockbench.NewWorkload("ycsb", blockbench.WorkloadOptions{"records": "500"})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	cluster, err := blockbench.NewCluster(blockbench.ClusterConfig{
 		Kind:      blockbench.Hyperledger,

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 	"time"
 
 	"blockbench"
@@ -83,6 +84,16 @@ func Get(id string) (Runner, bool) {
 var platforms = []blockbench.Platform{
 	blockbench.Ethereum, blockbench.Parity, blockbench.Hyperledger,
 	blockbench.Quorum,
+}
+
+// sizedWorkload builds a registered workload with its record/account
+// volume set — the registry lookup behind every experiment table, so a
+// workload registered by a framework user is immediately addressable
+// here too. Names are static within this package, so failure is a
+// programming error.
+func sizedWorkload(name string, records int) blockbench.Workload {
+	return blockbench.MustWorkload(name,
+		blockbench.WorkloadOptions{"records": strconv.Itoa(records)})
 }
 
 // newCluster builds a stopped cluster with paper-faithful defaults.

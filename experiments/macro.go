@@ -20,12 +20,13 @@ func init() {
 	register("fig19", Fig19SmallbankScale)
 }
 
-// macroWorkload builds the two macro benchmarks sized to the scale.
+// macroWorkload builds the two macro benchmarks sized to the scale,
+// through the workload registry.
 func macroWorkload(name string, s Scale) blockbench.Workload {
 	if name == "smallbank" {
-		return &blockbench.SmallbankWorkload{Accounts: 400 / s.Shrink}
+		return sizedWorkload(name, 400/s.Shrink)
 	}
-	return &blockbench.YCSBWorkload{Records: 1000 / s.Shrink}
+	return sizedWorkload(name, 1000/s.Shrink)
 }
 
 // Fig5PeakAndRates reproduces Fig 5: peak throughput and latency for
@@ -135,7 +136,7 @@ func Fig13cDoNothing(s Scale) (*Result, error) {
 		for _, wname := range []string{"smallbank", "ycsb", "donothing"} {
 			var w blockbench.Workload
 			if wname == "donothing" {
-				w = blockbench.DoNothingWorkload{}
+				w = blockbench.MustWorkload(wname, nil)
 			} else {
 				w = macroWorkload(wname, s)
 			}

@@ -32,7 +32,7 @@ func Fig11CPUHeavy(s Scale) (*Result, error) {
 	}
 	for _, kind := range platforms {
 		for _, n := range sizes {
-			c, err := newCluster(kind, 1, 1, &blockbench.CPUHeavyWorkload{}, nil)
+			c, err := newCluster(kind, 1, 1, blockbench.MustWorkload("cpuheavy", nil), nil)
 			if err != nil {
 				return nil, err
 			}
@@ -107,7 +107,7 @@ func ioHeavyRun(kind blockbench.Platform, tuples, perTx int) (string, error) {
 		return "", err
 	}
 	defer os.RemoveAll(dir)
-	c, err := newCluster(kind, 1, 1, &blockbench.IOHeavyWorkload{}, func(cfg *blockbench.ClusterConfig) {
+	c, err := newCluster(kind, 1, 1, blockbench.MustWorkload("ioheavy", nil), func(cfg *blockbench.ClusterConfig) {
 		if kind != blockbench.Parity {
 			cfg.DataDir = dir
 		}

@@ -1,0 +1,219 @@
+// Contention benchmarks for the sharded pool against the pre-sharding
+// single-mutex implementation (kept below as mutexPool). Each benchmark
+// iteration runs a fixed node-shaped workload — N adder goroutines on
+// the ingestion path racing one block producer's Batch+MarkIncluded
+// cycle over a deep standing pool — and reports transactions per
+// second, so even the CI smoke run (-benchtime 1x) records comparable
+// throughput numbers in BENCH_ci.json.
+package txpool
+
+import (
+	"encoding/binary"
+	"runtime"
+	"sync"
+	"testing"
+
+	"blockbench/internal/types"
+)
+
+// benchPool is the surface both implementations share.
+type benchPool interface {
+	Add(*types.Transaction) bool
+	Batch(int, uint64) []*types.Transaction
+	MarkIncluded([]*types.Transaction)
+	Len() int
+}
+
+const (
+	benchTxsPerG  = 4096  // transactions each adder goroutine admits
+	benchBacklog  = 32768 // standing pending transactions at start
+	benchBlockTxs = 256   // batch size of the block-producer cycle
+)
+
+func benchTx(id uint64) *types.Transaction {
+	var arg [8]byte
+	binary.BigEndian.PutUint64(arg[:], id)
+	tx := &types.Transaction{Nonce: id, Contract: "bench", Method: "op",
+		Args: [][]byte{arg[:]}, GasLimit: 100}
+	tx.Hash() // pin the cached hash outside the timed section
+	return tx
+}
+
+func benchTxSets(goroutines int) ([][]*types.Transaction, []*types.Transaction) {
+	sets := make([][]*types.Transaction, goroutines)
+	id := uint64(1)
+	for g := range sets {
+		sets[g] = make([]*types.Transaction, benchTxsPerG)
+		for i := range sets[g] {
+			sets[g][i] = benchTx(id)
+			id++
+		}
+	}
+	backlog := make([]*types.Transaction, benchBacklog)
+	for i := range backlog {
+		backlog[i] = benchTx(1<<32 + uint64(i))
+	}
+	return sets, backlog
+}
+
+// runContention drives one iteration of the node-shaped workload —
+// len(sets) adder goroutines racing the ingestion path while one block
+// producer cycles Batch+MarkIncluded until the pool drains, all over a
+// deep standing backlog — and returns the number of transactions that
+// passed through the pool.
+func runContention(p benchPool, sets [][]*types.Transaction, backlog []*types.Transaction) int {
+	for _, tx := range backlog {
+		p.Add(tx)
+	}
+	var wg sync.WaitGroup
+	addersDone := make(chan struct{})
+	for _, txs := range sets {
+		wg.Add(1)
+		go func(txs []*types.Transaction) {
+			defer wg.Done()
+			for _, tx := range txs {
+				p.Add(tx)
+			}
+		}(txs)
+	}
+	go func() {
+		wg.Wait()
+		close(addersDone)
+	}()
+	done := false
+	for {
+		b := p.Batch(benchBlockTxs, 0)
+		if len(b) > 0 {
+			p.MarkIncluded(b)
+		} else if done {
+			break
+		} else {
+			runtime.Gosched()
+		}
+		select {
+		case <-addersDone:
+			done = true
+		default:
+		}
+	}
+	return len(backlog) + len(sets)*benchTxsPerG
+}
+
+func benchContention(b *testing.B, goroutines int, newPool func() benchPool) {
+	sets, backlog := benchTxSets(goroutines)
+	b.ResetTimer()
+	txs := 0
+	for i := 0; i < b.N; i++ {
+		txs += runContention(newPool(), sets, backlog)
+	}
+	b.ReportMetric(float64(txs)/b.Elapsed().Seconds(), "tx/s")
+}
+
+func BenchmarkPoolContentionSharded8(b *testing.B) {
+	benchContention(b, 8, func() benchPool { return New(0) })
+}
+
+func BenchmarkPoolContentionSharded16(b *testing.B) {
+	benchContention(b, 16, func() benchPool { return New(0) })
+}
+
+func BenchmarkPoolContentionMutex8(b *testing.B) {
+	benchContention(b, 8, func() benchPool { return newMutexPool(0) })
+}
+
+func BenchmarkPoolContentionMutex16(b *testing.B) {
+	benchContention(b, 16, func() benchPool { return newMutexPool(0) })
+}
+
+// TestShardedMatchesMutexUnderContention cross-checks the two
+// implementations: after the same concurrent workload both must end
+// empty-or-consistent, with every admitted transaction either included
+// or still pending exactly once.
+func TestShardedMatchesMutexUnderContention(t *testing.T) {
+	sets, backlog := benchTxSets(4)
+	for _, p := range []benchPool{New(0), newMutexPool(0)} {
+		runContention(p, sets, backlog)
+		seen := make(map[types.Hash]int)
+		for _, tx := range p.Batch(0, 0) {
+			seen[tx.Hash()]++
+			if seen[tx.Hash()] > 1 {
+				t.Fatalf("%T: duplicate pending transaction", p)
+			}
+		}
+		if p.Len() != len(seen) {
+			t.Fatalf("%T: Len=%d but Batch returned %d", p, p.Len(), len(seen))
+		}
+	}
+}
+
+// mutexPool is the pre-sharding implementation: one mutex, one FIFO
+// slice, O(pool) MarkIncluded. It is the baseline the contention
+// benchmarks compare against.
+type mutexPool struct {
+	mu      sync.Mutex
+	pending []*types.Transaction
+	index   map[types.Hash]int
+	limit   int
+}
+
+func newMutexPool(limit int) *mutexPool {
+	return &mutexPool{index: make(map[types.Hash]int), limit: limit}
+}
+
+func (p *mutexPool) Add(tx *types.Transaction) bool {
+	h := tx.Hash()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, known := p.index[h]; known {
+		return false
+	}
+	if p.limit > 0 && len(p.pending) >= p.limit {
+		return false
+	}
+	p.index[h] = len(p.pending)
+	p.pending = append(p.pending, tx)
+	return true
+}
+
+func (p *mutexPool) Batch(maxTxs int, gasLimit uint64) []*types.Transaction {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []*types.Transaction
+	var gas uint64
+	for _, tx := range p.pending {
+		if maxTxs > 0 && len(out) >= maxTxs {
+			break
+		}
+		if gasLimit > 0 && gas+tx.GasLimit > gasLimit {
+			break
+		}
+		gas += tx.GasLimit
+		out = append(out, tx)
+	}
+	return out
+}
+
+func (p *mutexPool) MarkIncluded(txs []*types.Transaction) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	drop := make(map[types.Hash]bool, len(txs))
+	for _, tx := range txs {
+		h := tx.Hash()
+		drop[h] = true
+		p.index[h] = -1
+	}
+	kept := p.pending[:0]
+	for _, tx := range p.pending {
+		if !drop[tx.Hash()] {
+			p.index[tx.Hash()] = len(kept)
+			kept = append(kept, tx)
+		}
+	}
+	p.pending = kept
+}
+
+func (p *mutexPool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pending)
+}

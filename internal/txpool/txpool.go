@@ -1,115 +1,246 @@
 // Package txpool implements the pending-transaction pool each node keeps
 // between transaction arrival (client RPC or gossip) and block inclusion.
+//
+// The pool is sharded: transactions hash into one of shardCount
+// independently-locked shards, so concurrent Add/MarkIncluded callers
+// (client RPC threads, the gossip dispatch thread, the consensus block
+// path) contend only when they land on the same shard. A global atomic
+// counter keeps Len lock-free, and a monotone sequence number stamped at
+// admission lets Batch merge the shard FIFOs back into arrival order.
+// Inclusion uses tombstones instead of rewriting the pending slice, so
+// MarkIncluded is O(batch) amortized rather than O(pool).
 package txpool
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"blockbench/internal/types"
 )
+
+// shardCount is the number of independently-locked shards. Power of two
+// so the shard index is a mask of the transaction hash.
+const shardCount = 16
+
+// entry is one pending transaction with its global admission sequence.
+type entry struct {
+	tx   *types.Transaction
+	hash types.Hash
+	seq  uint64
+	dead bool // included (tombstoned), awaiting compaction
+}
+
+// shard is one lock domain: a FIFO slice plus the duplicate-suppression
+// index. index maps a hash to its position in pending, or -1 once the
+// transaction has been included (so duplicates are still rejected).
+type shard struct {
+	mu      sync.Mutex
+	pending []entry
+	index   map[types.Hash]int
+	head    int // first possibly-live position in pending
+	dead    int // tombstones at or after head
+}
 
 // Pool is a FIFO pending pool with duplicate suppression. Transactions
 // seen before (pending or already included) are rejected, which keeps
 // gossip loops from amplifying traffic.
 type Pool struct {
-	mu      sync.Mutex
-	pending []*types.Transaction
-	index   map[types.Hash]int // position in pending, -1 once included
-	limit   int
+	shards [shardCount]shard
+	seq    atomic.Uint64
+	length atomic.Int64
+	limit  int
 }
 
 // New creates a pool that holds at most limit pending transactions
-// (0 means unbounded).
+// (0 means unbounded). Under concurrent admission the limit is
+// approximate: racing adders can overshoot by at most a few
+// transactions, never by more than one per shard.
 func New(limit int) *Pool {
-	return &Pool{index: make(map[types.Hash]int), limit: limit}
+	p := &Pool{limit: limit}
+	for i := range p.shards {
+		p.shards[i].index = make(map[types.Hash]int)
+	}
+	return p
+}
+
+func (p *Pool) shardOf(h types.Hash) *shard {
+	return &p.shards[h[0]&(shardCount-1)]
 }
 
 // Add inserts tx unless it is known or the pool is full. It reports
 // whether the transaction was accepted as new.
 func (p *Pool) Add(tx *types.Transaction) bool {
 	h := tx.Hash()
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if _, known := p.index[h]; known {
+	s := p.shardOf(h)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, known := s.index[h]; known {
 		return false
 	}
-	if p.limit > 0 && len(p.pending) >= p.limit {
+	if p.limit > 0 && p.length.Load() >= int64(p.limit) {
 		return false
 	}
-	p.index[h] = len(p.pending)
-	p.pending = append(p.pending, tx)
+	s.index[h] = len(s.pending)
+	s.pending = append(s.pending, entry{tx: tx, hash: h, seq: p.seq.Add(1)})
+	p.length.Add(1)
 	return true
 }
 
 // Known reports whether the pool has ever seen tx.
 func (p *Pool) Known(h types.Hash) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	_, ok := p.index[h]
+	s := p.shardOf(h)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[h]
 	return ok
 }
 
 // Batch returns up to maxTxs pending transactions whose gas limits sum
-// to at most gasLimit (0 disables the gas constraint). Transactions stay
-// pending until MarkIncluded.
+// to at most gasLimit (0 disables the gas constraint), in arrival order:
+// each shard drains its FIFO head and the heads are merged back by
+// admission sequence. Transactions stay pending until MarkIncluded.
 func (p *Pool) Batch(maxTxs int, gasLimit uint64) []*types.Transaction {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	// Snapshot each shard's live head under its own lock; no shard lock
+	// is held during the merge. Small batches copy up to maxTxs per
+	// shard, keeping the merge exact; large batches cap the per-shard
+	// snapshot, so a heavily skewed shard may defer a few of its oldest
+	// transactions to the next batch (approximate FIFO) in exchange for
+	// copying ~2x the batch size instead of shardCount x.
+	perShard := maxTxs
+	if perShard > 64 {
+		perShard = maxTxs/shardCount*2 + 32
+	}
+	var heads [shardCount][]entry
+	for i := range p.shards {
+		heads[i] = p.shards[i].snapshot(perShard)
+	}
 	var out []*types.Transaction
 	var gas uint64
-	for _, tx := range p.pending {
+	var cursor [shardCount]int
+	for {
+		best := -1
+		var bestSeq uint64
+		for i := range heads {
+			if cursor[i] < len(heads[i]) {
+				if e := heads[i][cursor[i]]; best < 0 || e.seq < bestSeq {
+					best, bestSeq = i, e.seq
+				}
+			}
+		}
+		if best < 0 {
+			break
+		}
+		e := heads[best][cursor[best]]
 		if maxTxs > 0 && len(out) >= maxTxs {
 			break
 		}
-		if gasLimit > 0 && gas+tx.GasLimit > gasLimit {
+		if gasLimit > 0 && gas+e.tx.GasLimit > gasLimit {
 			break
 		}
-		gas += tx.GasLimit
-		out = append(out, tx)
+		cursor[best]++
+		gas += e.tx.GasLimit
+		out = append(out, e.tx)
+	}
+	return out
+}
+
+// snapshot copies up to max live entries from the shard's FIFO head
+// (all of them when max <= 0), advancing head past any tombstoned
+// prefix on the way.
+func (s *shard) snapshot(max int) []entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.head < len(s.pending) && s.pending[s.head].dead {
+		s.head++
+		s.dead--
+	}
+	s.maybeCompact()
+	var out []entry
+	for i := s.head; i < len(s.pending); i++ {
+		if max > 0 && len(out) >= max {
+			break
+		}
+		if !s.pending[i].dead {
+			out = append(out, s.pending[i])
+		}
 	}
 	return out
 }
 
 // MarkIncluded removes the given transactions from the pending set while
-// remembering their hashes so duplicates are still rejected.
+// remembering their hashes so duplicates are still rejected. Removal
+// tombstones the entry in place; the slice is compacted only once
+// tombstones dominate, keeping the per-block cost proportional to the
+// batch rather than the pool.
 func (p *Pool) MarkIncluded(txs []*types.Transaction) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	drop := make(map[types.Hash]bool, len(txs))
+	var byShard [shardCount][]types.Hash
 	for _, tx := range txs {
 		h := tx.Hash()
-		drop[h] = true
-		p.index[h] = -1
+		i := h[0] & (shardCount - 1)
+		byShard[i] = append(byShard[i], h)
 	}
-	kept := p.pending[:0]
-	for _, tx := range p.pending {
-		if !drop[tx.Hash()] {
-			p.index[tx.Hash()] = len(kept)
-			kept = append(kept, tx)
+	for i := range byShard {
+		if len(byShard[i]) == 0 {
+			continue
+		}
+		s := &p.shards[i]
+		s.mu.Lock()
+		for _, h := range byShard[i] {
+			pos, known := s.index[h]
+			if known && pos >= 0 {
+				s.pending[pos].dead = true
+				s.dead++
+				p.length.Add(-1)
+			}
+			s.index[h] = -1
+		}
+		s.maybeCompact()
+		s.mu.Unlock()
+	}
+}
+
+// maybeCompact rebuilds the pending slice once the wasted entries —
+// the consumed prefix before head plus tombstones past it — outnumber
+// the live ones, restoring index positions and releasing the retained
+// transactions. The doubling threshold keeps removal O(1) amortized.
+// Called with the shard lock held.
+func (s *shard) maybeCompact() {
+	live := len(s.pending) - s.head - s.dead
+	if waste := s.head + s.dead; waste <= live || waste < 64 {
+		return
+	}
+	kept := make([]entry, 0, live)
+	for _, e := range s.pending[s.head:] {
+		if !e.dead {
+			s.index[e.hash] = len(kept)
+			kept = append(kept, e)
 		}
 	}
-	p.pending = kept
+	s.pending = kept
+	s.head = 0
+	s.dead = 0
 }
 
 // Reinject returns transactions to the pending set even if they were
 // previously marked included — used when a chain reorganization drops
 // the blocks that contained them.
 func (p *Pool) Reinject(txs []*types.Transaction) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	for _, tx := range txs {
 		h := tx.Hash()
-		if pos, known := p.index[h]; known && pos >= 0 {
+		s := p.shardOf(h)
+		s.mu.Lock()
+		if pos, known := s.index[h]; known && pos >= 0 {
+			s.mu.Unlock()
 			continue // still pending
 		}
-		p.index[h] = len(p.pending)
-		p.pending = append(p.pending, tx)
+		s.index[h] = len(s.pending)
+		s.pending = append(s.pending, entry{tx: tx, hash: h, seq: p.seq.Add(1)})
+		p.length.Add(1)
+		s.mu.Unlock()
 	}
 }
 
 // Len returns the number of pending transactions.
 func (p *Pool) Len() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.pending)
+	return int(p.length.Load())
 }

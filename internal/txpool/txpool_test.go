@@ -1,6 +1,7 @@
 package txpool
 
 import (
+	"sync"
 	"testing"
 
 	"blockbench/internal/types"
@@ -95,6 +96,137 @@ func TestReinjectAfterReorg(t *testing.T) {
 	p.MarkIncluded([]*types.Transaction{a})
 	if p.Len() != 0 {
 		t.Fatal("second include failed")
+	}
+}
+
+// TestFIFOAcrossIncludes checks that arrival order survives interleaved
+// inclusion: tombstoned entries must never resurface and the merge must
+// keep the survivors in admission order.
+func TestFIFOAcrossIncludes(t *testing.T) {
+	p := New(0)
+	var txs []*types.Transaction
+	for i := uint64(1); i <= 64; i++ {
+		x := tx(i, 1)
+		txs = append(txs, x)
+		p.Add(x)
+	}
+	// Include every other transaction.
+	var include []*types.Transaction
+	for i := 0; i < len(txs); i += 2 {
+		include = append(include, txs[i])
+	}
+	p.MarkIncluded(include)
+	batch := p.Batch(0, 0)
+	if len(batch) != 32 {
+		t.Fatalf("batch = %d, want 32", len(batch))
+	}
+	for i, x := range batch {
+		if x.Hash() != txs[2*i+1].Hash() {
+			t.Fatalf("batch[%d] out of order", i)
+		}
+	}
+}
+
+// TestReinjectAfterTombstone covers the tombstone/reinject interplay: a
+// reinjected transaction must appear exactly once even though its dead
+// entry may still be awaiting compaction.
+func TestReinjectAfterTombstone(t *testing.T) {
+	p := New(0)
+	var txs []*types.Transaction
+	for i := uint64(1); i <= 100; i++ {
+		x := tx(i, 1)
+		txs = append(txs, x)
+		p.Add(x)
+	}
+	p.MarkIncluded(txs[:50])
+	p.Reinject(txs[:50])
+	if p.Len() != 100 {
+		t.Fatalf("len = %d, want 100", p.Len())
+	}
+	seen := make(map[types.Hash]bool)
+	batch := p.Batch(0, 0)
+	if len(batch) != 100 {
+		t.Fatalf("batch = %d, want 100", len(batch))
+	}
+	for _, x := range batch {
+		if seen[x.Hash()] {
+			t.Fatal("duplicate after reinject")
+		}
+		seen[x.Hash()] = true
+	}
+}
+
+// TestConcurrentAddBatchInclude exercises the sharded paths under the
+// race detector: parallel adders, a batch/include loop and Len/Known
+// readers all run against one pool.
+func TestConcurrentAddBatchInclude(t *testing.T) {
+	p := New(0)
+	const goroutines, each = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				x := tx(uint64(g)<<32|uint64(i+1), 1)
+				if !p.Add(x) {
+					t.Errorf("fresh tx refused")
+					return
+				}
+				if i%50 == 0 {
+					if b := p.Batch(32, 0); len(b) > 0 {
+						p.MarkIncluded(b)
+					}
+				}
+				p.Known(x.Hash())
+				p.Len()
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Drain completely; every admitted tx is included exactly once.
+	total := p.Len()
+	for {
+		b := p.Batch(100, 0)
+		if len(b) == 0 {
+			break
+		}
+		p.MarkIncluded(b)
+		total -= len(b)
+	}
+	if total != 0 || p.Len() != 0 {
+		t.Fatalf("pool did not drain: remainder=%d len=%d", total, p.Len())
+	}
+}
+
+// TestSteadyStateMemoryBounded guards the compaction trigger: in FIFO
+// steady state (adds balanced by includes over a standing pool) the
+// shards must reclaim the consumed prefix instead of retaining every
+// transaction ever admitted.
+func TestSteadyStateMemoryBounded(t *testing.T) {
+	p := New(0)
+	id := uint64(1)
+	for i := 0; i < 1000; i++ {
+		p.Add(tx(id, 1))
+		id++
+	}
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 256; i++ {
+			p.Add(tx(id, 1))
+			id++
+		}
+		p.MarkIncluded(p.Batch(256, 0))
+	}
+	retained := 0
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		retained += len(s.pending)
+		s.mu.Unlock()
+	}
+	if limit := 4*p.Len() + shardCount*64; retained > limit {
+		t.Fatalf("shards retain %d entries for %d live transactions (limit %d)",
+			retained, p.Len(), limit)
 	}
 }
 

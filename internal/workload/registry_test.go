@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegisterValidation(t *testing.T) {
+	if err := Register(Spec{Name: "", New: func(Options) (any, error) { return nil, nil }}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := Register(Spec{Name: "no-factory"}); err == nil {
+		t.Fatal("missing factory accepted")
+	}
+	ok := Spec{Name: "reg-test", Description: "x",
+		New: func(Options) (any, error) { return struct{}{}, nil }}
+	if err := Register(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := Register(ok); err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Fatalf("duplicate not rejected: %v", err)
+	}
+	if Describe("reg-test") != "x" {
+		t.Fatal("Describe lost the summary")
+	}
+	found := false
+	for _, n := range Names() {
+		if n == "reg-test" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("registered name missing from Names")
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	_, err := Lookup("no-such-workload")
+	if err == nil || !strings.Contains(err.Error(), "unknown name") {
+		t.Fatalf("unknown lookup: %v", err)
+	}
+	if _, err := New("no-such-workload", nil); err == nil {
+		t.Fatal("New built an unknown workload")
+	}
+}
+
+func TestParseOptions(t *testing.T) {
+	opts, err := ParseOptions([]string{"readprop=0.9", "distribution=uniform"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts["readprop"] != "0.9" || opts["distribution"] != "uniform" {
+		t.Fatalf("bad parse: %v", opts)
+	}
+	// Values may themselves contain '='.
+	opts, err = ParseOptions([]string{"expr=a=b"})
+	if err != nil || opts["expr"] != "a=b" {
+		t.Fatalf("value with '=': %v %v", opts, err)
+	}
+	for _, bad := range [][]string{
+		{"noequals"},
+		{"=val"},
+		{"k=1", "k=2"},
+	} {
+		if _, err := ParseOptions(bad); err == nil {
+			t.Fatalf("accepted %v", bad)
+		}
+	}
+}
+
+func TestDecoderTypesAndDefaults(t *testing.T) {
+	d := NewDecoder(Options{
+		"i": "42", "u": "7", "f": "0.25", "b": "true", "s": "zipfian",
+	})
+	if got := d.Int("i", 0); got != 42 {
+		t.Fatalf("Int = %d", got)
+	}
+	if got := d.Uint64("u", 0); got != 7 {
+		t.Fatalf("Uint64 = %d", got)
+	}
+	if got := d.Float("f", 0); got != 0.25 {
+		t.Fatalf("Float = %v", got)
+	}
+	if !d.Bool("b", false) {
+		t.Fatal("Bool = false")
+	}
+	if got := d.String("s", ""); got != "zipfian" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := d.Int("missing", 99); got != 99 {
+		t.Fatalf("default = %d", got)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecoderErrors(t *testing.T) {
+	d := NewDecoder(Options{"records": "many"})
+	d.Int("records", 0)
+	if err := d.Finish(); err == nil || !strings.Contains(err.Error(), "records") {
+		t.Fatalf("conversion error lost: %v", err)
+	}
+	// Unconsumed keys are a typo'd -wopt.
+	d = NewDecoder(Options{"recrods": "10"})
+	d.Int("records", 0)
+	if err := d.Finish(); err == nil || !strings.Contains(err.Error(), "recrods") {
+		t.Fatalf("unknown option not flagged: %v", err)
+	}
+}

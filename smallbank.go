@@ -1,0 +1,92 @@
+package blockbench
+
+import (
+	"math/rand"
+	"sync"
+
+	"blockbench/internal/types"
+	"blockbench/internal/workload"
+)
+
+func init() {
+	workload.MustRegister(workload.Spec{
+		Name:        "smallbank",
+		Description: "OLTP macro benchmark: bank accounts driven by the standard Smallbank procedure mix",
+		Contracts:   []string{"smallbank"},
+		New: func(opts workload.Options) (any, error) {
+			d := workload.NewDecoder(opts)
+			w := &SmallbankWorkload{
+				Accounts:       d.Int("accounts", d.Int("records", 0)),
+				InitialBalance: d.Uint64("balance", 0),
+			}
+			if err := d.Finish(); err != nil {
+				return nil, err
+			}
+			return w, nil
+		},
+	})
+}
+
+// SmallbankWorkload is the OLTP macro benchmark: bank accounts with
+// savings and checking balances and the Smallbank procedure mix.
+type SmallbankWorkload struct {
+	Accounts       int    // default 1000
+	InitialBalance uint64 // default 10000 in each of savings/checking
+
+	fillOnce sync.Once
+}
+
+// Name implements Workload.
+func (w *SmallbankWorkload) Name() string { return "smallbank" }
+
+// Contracts implements Workload.
+func (w *SmallbankWorkload) Contracts() []string { return []string{"smallbank"} }
+
+// lazyFill applies defaults exactly once: Next may run on several
+// goroutines without Init (SkipInit), so the check-then-initialize must
+// not race.
+func (w *SmallbankWorkload) lazyFill() { w.fillOnce.Do(w.fill) }
+
+func (w *SmallbankWorkload) fill() {
+	if w.Accounts <= 0 {
+		w.Accounts = 1000
+	}
+	if w.InitialBalance == 0 {
+		w.InitialBalance = 10_000
+	}
+}
+
+func sbAcct(i int) []byte { return types.U64Bytes(uint64(i)) }
+
+// Init implements Workload: funds every account.
+func (w *SmallbankWorkload) Init(c *Cluster, rng *rand.Rand) error {
+	w.lazyFill()
+	ops := make([]Op, 0, 2*w.Accounts)
+	for i := 0; i < w.Accounts; i++ {
+		ops = append(ops,
+			Op{Contract: "smallbank", Method: "depositChecking",
+				Args: [][]byte{sbAcct(i), types.U64Bytes(w.InitialBalance)}},
+			Op{Contract: "smallbank", Method: "transactSavings",
+				Args: [][]byte{sbAcct(i), types.U64Bytes(w.InitialBalance)}})
+	}
+	return c.preloadOps(ops, 400)
+}
+
+// Next implements Workload: the standard Smallbank mix.
+func (w *SmallbankWorkload) Next(clientID int, rng *rand.Rand) Op {
+	w.lazyFill()
+	a, b := sbAcct(rng.Intn(w.Accounts)), sbAcct(rng.Intn(w.Accounts))
+	amt := types.U64Bytes(uint64(1 + rng.Intn(50)))
+	switch rng.Intn(6) {
+	case 0:
+		return Op{Contract: "smallbank", Method: "transactSavings", Args: [][]byte{a, amt}}
+	case 1:
+		return Op{Contract: "smallbank", Method: "depositChecking", Args: [][]byte{a, amt}}
+	case 2, 3:
+		return Op{Contract: "smallbank", Method: "sendPayment", Args: [][]byte{a, b, amt}}
+	case 4:
+		return Op{Contract: "smallbank", Method: "writeCheck", Args: [][]byte{a, amt}}
+	default:
+		return Op{Contract: "smallbank", Method: "amalgamate", Args: [][]byte{a, b}}
+	}
+}

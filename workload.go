@@ -1,0 +1,75 @@
+package blockbench
+
+import (
+	"fmt"
+
+	"blockbench/internal/workload"
+)
+
+// Workload-registry bridge: the application-layer mirror of the
+// platform registry. Every shipped workload registers itself in its own
+// file through workload.Register; the CLI, experiments and framework
+// users build instances by name with NewWorkload, so adding a workload
+// needs no CLI or experiment edits.
+
+type (
+	// WorkloadSpec registers a named workload factory.
+	WorkloadSpec = workload.Spec
+	// WorkloadOptions carries -wopt key=val parameters into a factory.
+	WorkloadOptions = workload.Options
+	// WorkloadDecoder reads typed values out of WorkloadOptions,
+	// collecting conversion errors and unknown keys for Finish.
+	WorkloadDecoder = workload.Decoder
+)
+
+// NewWorkloadDecoder wraps options for typed access inside a workload
+// factory; call Finish after reading to surface malformed values and
+// misspelled keys.
+func NewWorkloadDecoder(opts WorkloadOptions) *WorkloadDecoder {
+	return workload.NewDecoder(opts)
+}
+
+// RegisterWorkload plugs a workload spec into the framework, making it
+// reachable from NewWorkload, the CLI and the experiments.
+func RegisterWorkload(s WorkloadSpec) error { return workload.Register(s) }
+
+// NewWorkload builds a registered workload by name. Options not
+// understood by the workload are an error, as are malformed values.
+func NewWorkload(name string, opts WorkloadOptions) (Workload, error) {
+	v, err := workload.New(name, opts)
+	if err != nil {
+		return nil, err
+	}
+	w, ok := v.(Workload)
+	if !ok {
+		return nil, fmt.Errorf("workload: %s factory returned %T, which does not implement blockbench.Workload", name, v)
+	}
+	return w, nil
+}
+
+// MustWorkload is NewWorkload for tests, benchmarks and experiment
+// tables whose workload names are static: it panics on error.
+func MustWorkload(name string, opts WorkloadOptions) Workload {
+	w, err := NewWorkload(name, opts)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Workloads lists registered workload names in registration order.
+func Workloads() []string { return workload.Names() }
+
+// WorkloadDescribe returns the one-line summary of a registered
+// workload ("" if unknown).
+func WorkloadDescribe(name string) string { return workload.Describe(name) }
+
+// WorkloadContracts returns the contracts a registered workload deploys
+// without instantiating it (nil if unknown).
+func WorkloadContracts(name string) []string { return workload.Contracts(name) }
+
+// ParseWorkloadOptions turns repeated "key=val" strings (the CLI's
+// -wopt values) into WorkloadOptions.
+func ParseWorkloadOptions(kvs []string) (WorkloadOptions, error) {
+	return workload.ParseOptions(kvs)
+}

@@ -3,13 +3,17 @@ package blockbench
 import (
 	"fmt"
 	"math/rand"
-	"sync/atomic"
 	"time"
 
 	"blockbench/internal/crypto"
 	"blockbench/internal/types"
-	"blockbench/internal/workload"
 )
+
+// The workload implementations live one per file (ycsb.go, smallbank.go,
+// etherid.go, doubler.go, wavespresale.go, donothing.go, ioheavy.go,
+// cpuheavy.go, ycsbscan.go), each registering itself with the workload
+// registry in its init block. This file holds the preload machinery they
+// share.
 
 // preloadOps seeds the blockchain with the given operations before
 // measurement starts ("preloads each store with a number of records").
@@ -61,18 +65,26 @@ func (c *Cluster) preloadOps(ops []Op, batch int) error {
 }
 
 // preloadLive submits preload transactions through consensus and waits
-// until they are all committed.
+// until they are all committed. Both phases share one deadline, and the
+// submit retry backs off exponentially, so a permanently-busy server
+// surfaces as an error instead of an unbounded spin.
 func (c *Cluster) preloadLive(txs []*types.Transaction) error {
+	deadline := time.Now().Add(5 * time.Minute)
 	for i, tx := range txs {
 		n := c.nodeAt(i % c.Size())
+		backoff := time.Millisecond
 		for {
 			if _, err := n.SendTransaction(tx); err == nil {
 				break
+			} else if time.Now().After(deadline) {
+				return fmt.Errorf("blockbench: preload submit timed out at tx %d/%d: %w", i+1, len(txs), err)
 			}
-			time.Sleep(2 * time.Millisecond) // server busy: retry
+			time.Sleep(backoff) // server busy: retry
+			if backoff < 64*time.Millisecond {
+				backoff *= 2
+			}
 		}
 	}
-	deadline := time.Now().Add(5 * time.Minute)
 	srv := c.nodeAt(0)
 	for _, tx := range txs {
 		for {
@@ -88,332 +100,8 @@ func (c *Cluster) preloadLive(txs []*types.Transaction) error {
 	return nil
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-// YCSBWorkload is the key-value macro benchmark: a preloaded record set
-// and a configurable read/update/insert mix with YCSB's request
-// distributions.
-type YCSBWorkload struct {
-	Records      int     // preloaded records (default 1000)
-	ValueSize    int     // value bytes (default 100, as in the paper)
-	ReadProp     float64 // default 0.5
-	UpdateProp   float64 // default 0.5
-	InsertProp   float64 // default 0
-	Distribution string  // zipfian (default), uniform, latest
-
-	chooser  workload.KeyChooser
-	inserted atomic.Int64
-}
-
-// Name implements Workload.
-func (w *YCSBWorkload) Name() string { return "ycsb" }
-
-// Contracts implements Workload.
-func (w *YCSBWorkload) Contracts() []string { return []string{"ycsb"} }
-
-func (w *YCSBWorkload) fill() {
-	if w.Records <= 0 {
-		w.Records = 1000
-	}
-	if w.ValueSize <= 0 {
-		w.ValueSize = 100
-	}
-	if w.ReadProp == 0 && w.UpdateProp == 0 && w.InsertProp == 0 {
-		w.ReadProp, w.UpdateProp = 0.5, 0.5
-	}
-	switch w.Distribution {
-	case "uniform":
-		w.chooser = workload.Uniform{N: w.Records}
-	case "latest":
-		w.chooser = workload.NewLatest(w.Records)
-	default:
-		w.Distribution = "zipfian"
-		w.chooser = workload.NewZipfian(w.Records)
-	}
-}
-
-func ycsbKey(i int) []byte { return []byte(fmt.Sprintf("user%010d", i)) }
-
 func randValue(rng *rand.Rand, n int) []byte {
 	v := make([]byte, n)
 	rng.Read(v)
 	return v
-}
-
-// Init implements Workload: preloads the record set.
-func (w *YCSBWorkload) Init(c *Cluster, rng *rand.Rand) error {
-	w.fill()
-	ops := make([]Op, w.Records)
-	for i := range ops {
-		ops[i] = Op{Contract: "ycsb", Method: "write",
-			Args: [][]byte{ycsbKey(i), randValue(rng, w.ValueSize)}}
-	}
-	w.inserted.Store(int64(w.Records))
-	return c.preloadOps(ops, 200)
-}
-
-// Next implements Workload.
-func (w *YCSBWorkload) Next(clientID int, rng *rand.Rand) Op {
-	if w.chooser == nil {
-		w.fill()
-	}
-	p := rng.Float64()
-	switch {
-	case p < w.ReadProp:
-		return Op{Contract: "ycsb", Method: "read",
-			Args: [][]byte{ycsbKey(w.chooser.Next(rng))}}
-	case p < w.ReadProp+w.UpdateProp:
-		return Op{Contract: "ycsb", Method: "write",
-			Args: [][]byte{ycsbKey(w.chooser.Next(rng)), randValue(rng, w.ValueSize)}}
-	default:
-		i := int(w.inserted.Add(1))
-		return Op{Contract: "ycsb", Method: "write",
-			Args: [][]byte{ycsbKey(i), randValue(rng, w.ValueSize)}}
-	}
-}
-
-// SmallbankWorkload is the OLTP macro benchmark: bank accounts with
-// savings and checking balances and the Smallbank procedure mix.
-type SmallbankWorkload struct {
-	Accounts       int    // default 1000
-	InitialBalance uint64 // default 10000 in each of savings/checking
-}
-
-// Name implements Workload.
-func (w *SmallbankWorkload) Name() string { return "smallbank" }
-
-// Contracts implements Workload.
-func (w *SmallbankWorkload) Contracts() []string { return []string{"smallbank"} }
-
-func (w *SmallbankWorkload) fill() {
-	if w.Accounts <= 0 {
-		w.Accounts = 1000
-	}
-	if w.InitialBalance == 0 {
-		w.InitialBalance = 10_000
-	}
-}
-
-func sbAcct(i int) []byte { return types.U64Bytes(uint64(i)) }
-
-// Init implements Workload: funds every account.
-func (w *SmallbankWorkload) Init(c *Cluster, rng *rand.Rand) error {
-	w.fill()
-	ops := make([]Op, 0, 2*w.Accounts)
-	for i := 0; i < w.Accounts; i++ {
-		ops = append(ops,
-			Op{Contract: "smallbank", Method: "depositChecking",
-				Args: [][]byte{sbAcct(i), types.U64Bytes(w.InitialBalance)}},
-			Op{Contract: "smallbank", Method: "transactSavings",
-				Args: [][]byte{sbAcct(i), types.U64Bytes(w.InitialBalance)}})
-	}
-	return c.preloadOps(ops, 400)
-}
-
-// Next implements Workload: the standard Smallbank mix.
-func (w *SmallbankWorkload) Next(clientID int, rng *rand.Rand) Op {
-	if w.Accounts == 0 {
-		w.fill()
-	}
-	a, b := sbAcct(rng.Intn(w.Accounts)), sbAcct(rng.Intn(w.Accounts))
-	amt := types.U64Bytes(uint64(1 + rng.Intn(50)))
-	switch rng.Intn(6) {
-	case 0:
-		return Op{Contract: "smallbank", Method: "transactSavings", Args: [][]byte{a, amt}}
-	case 1:
-		return Op{Contract: "smallbank", Method: "depositChecking", Args: [][]byte{a, amt}}
-	case 2, 3:
-		return Op{Contract: "smallbank", Method: "sendPayment", Args: [][]byte{a, b, amt}}
-	case 4:
-		return Op{Contract: "smallbank", Method: "writeCheck", Args: [][]byte{a, amt}}
-	default:
-		return Op{Contract: "smallbank", Method: "amalgamate", Args: [][]byte{a, b}}
-	}
-}
-
-// EtherIdWorkload drives the domain-name registrar contract: clients
-// register fresh domains and buy back their own (keeping every
-// transaction valid without cross-client coordination).
-type EtherIdWorkload struct {
-	counters []atomic.Int64
-}
-
-// Name implements Workload.
-func (w *EtherIdWorkload) Name() string { return "etherid" }
-
-// Contracts implements Workload.
-func (w *EtherIdWorkload) Contracts() []string { return []string{"etherid"} }
-
-// Init implements Workload.
-func (w *EtherIdWorkload) Init(c *Cluster, rng *rand.Rand) error {
-	w.counters = make([]atomic.Int64, 256)
-	return nil
-}
-
-func (w *EtherIdWorkload) domain(clientID int, i int64) []byte {
-	return types.U64Bytes(uint64(clientID)<<32 | uint64(i))
-}
-
-// Next implements Workload.
-func (w *EtherIdWorkload) Next(clientID int, rng *rand.Rand) Op {
-	if w.counters == nil {
-		w.counters = make([]atomic.Int64, 256)
-	}
-	ctr := &w.counters[clientID%len(w.counters)]
-	n := ctr.Load()
-	if n == 0 || rng.Float64() < 0.6 {
-		return Op{Contract: "etherid", Method: "register",
-			Args: [][]byte{w.domain(clientID, ctr.Add(1)), types.U64Bytes(10)}}
-	}
-	d := w.domain(clientID, 1+rng.Int63n(n))
-	if rng.Float64() < 0.5 {
-		return Op{Contract: "etherid", Method: "buy", Args: [][]byte{d}, Value: 20}
-	}
-	return Op{Contract: "etherid", Method: "query", Args: [][]byte{d}}
-}
-
-// DoublerWorkload drives the pyramid-scheme contract: every transaction
-// is an enter() carrying value.
-type DoublerWorkload struct{ Stake uint64 }
-
-// Name implements Workload.
-func (w *DoublerWorkload) Name() string { return "doubler" }
-
-// Contracts implements Workload.
-func (w *DoublerWorkload) Contracts() []string { return []string{"doubler"} }
-
-// Init implements Workload.
-func (w *DoublerWorkload) Init(c *Cluster, rng *rand.Rand) error { return nil }
-
-// Next implements Workload.
-func (w *DoublerWorkload) Next(clientID int, rng *rand.Rand) Op {
-	stake := w.Stake
-	if stake == 0 {
-		stake = 10
-	}
-	return Op{Contract: "doubler", Method: "enter", Value: stake}
-}
-
-// WavesWorkload drives the crowd-sale contract: new sales, ownership
-// transfers of the client's own sales, and record queries.
-type WavesWorkload struct {
-	counters []atomic.Int64
-}
-
-// Name implements Workload.
-func (w *WavesWorkload) Name() string { return "wavespresale" }
-
-// Contracts implements Workload.
-func (w *WavesWorkload) Contracts() []string { return []string{"wavespresale"} }
-
-// Init implements Workload.
-func (w *WavesWorkload) Init(c *Cluster, rng *rand.Rand) error {
-	w.counters = make([]atomic.Int64, 256)
-	return nil
-}
-
-func wavesSaleID(clientID int, i int64) []byte {
-	return types.U64Bytes(uint64(clientID)<<32 | uint64(i))
-}
-
-// Next implements Workload.
-func (w *WavesWorkload) Next(clientID int, rng *rand.Rand) Op {
-	if w.counters == nil {
-		w.counters = make([]atomic.Int64, 256)
-	}
-	ctr := &w.counters[clientID%len(w.counters)]
-	n := ctr.Load()
-	if n == 0 || rng.Float64() < 0.5 {
-		return Op{Contract: "wavespresale", Method: "newSale",
-			Args: [][]byte{wavesSaleID(clientID, ctr.Add(1)), types.U64Bytes(uint64(1 + rng.Intn(100)))}}
-	}
-	id := wavesSaleID(clientID, 1+rng.Int63n(n))
-	if rng.Float64() < 0.5 {
-		return Op{Contract: "wavespresale", Method: "getSale", Args: [][]byte{id}}
-	}
-	// Transfer one of this client's own sales to a random address; the
-	// client remains the registered caller so the owner check passes.
-	to := types.BytesToAddress(randValue(rng, types.AddressSize))
-	return Op{Contract: "wavespresale", Method: "transferSale", Args: [][]byte{id, to.Bytes()}}
-}
-
-// DoNothingWorkload isolates the consensus layer: the contract accepts a
-// transaction and returns immediately, so end-to-end cost is pure
-// consensus overhead.
-type DoNothingWorkload struct{}
-
-// Name implements Workload.
-func (DoNothingWorkload) Name() string { return "donothing" }
-
-// Contracts implements Workload.
-func (DoNothingWorkload) Contracts() []string { return []string{"donothing"} }
-
-// Init implements Workload.
-func (DoNothingWorkload) Init(c *Cluster, rng *rand.Rand) error { return nil }
-
-// Next implements Workload.
-func (DoNothingWorkload) Next(clientID int, rng *rand.Rand) Op {
-	return Op{Contract: "donothing", Method: "invoke"}
-}
-
-// IOHeavyWorkload stresses the data-model layer: each transaction
-// performs TuplesPerTx random writes or reads of 20-byte keys and
-// 100-byte values inside the contract.
-type IOHeavyWorkload struct {
-	TuplesPerTx uint64 // default 1000
-	Write       bool   // writes when true, reads when false
-	seed        atomic.Uint64
-}
-
-// Name implements Workload.
-func (w *IOHeavyWorkload) Name() string { return "ioheavy" }
-
-// Contracts implements Workload.
-func (w *IOHeavyWorkload) Contracts() []string { return []string{"ioheavy"} }
-
-// Init implements Workload.
-func (w *IOHeavyWorkload) Init(c *Cluster, rng *rand.Rand) error { return nil }
-
-// Next implements Workload.
-func (w *IOHeavyWorkload) Next(clientID int, rng *rand.Rand) Op {
-	n := w.TuplesPerTx
-	if n == 0 {
-		n = 1000
-	}
-	method := "read"
-	if w.Write {
-		method = "write"
-	}
-	seed := w.seed.Add(n) - n
-	return Op{Contract: "ioheavy", Method: method,
-		Args:     [][]byte{types.U64Bytes(n), types.U64Bytes(seed)},
-		GasLimit: 1 << 40}
-}
-
-// CPUHeavyWorkload stresses the execution layer: each transaction
-// initializes an N-element descending array and quicksorts it.
-type CPUHeavyWorkload struct{ N uint64 }
-
-// Name implements Workload.
-func (w *CPUHeavyWorkload) Name() string { return "cpuheavy" }
-
-// Contracts implements Workload.
-func (w *CPUHeavyWorkload) Contracts() []string { return []string{"cpuheavy"} }
-
-// Init implements Workload.
-func (w *CPUHeavyWorkload) Init(c *Cluster, rng *rand.Rand) error { return nil }
-
-// Next implements Workload.
-func (w *CPUHeavyWorkload) Next(clientID int, rng *rand.Rand) Op {
-	n := w.N
-	if n == 0 {
-		n = 10_000
-	}
-	return Op{Contract: "cpuheavy", Method: "sort",
-		Args: [][]byte{types.U64Bytes(n)}, GasLimit: 1 << 50}
 }
