@@ -25,10 +25,10 @@ race:
 # BENCH_ci.json holds the run in go's test2json NDJSON form: one event
 # per line, with the benchmark metric lines ("BenchmarkX ... ns/op") in
 # the output events. -benchtime=1x keeps this a smoke pass. Alongside
-# the root figure benchmarks (which now include the driver submission
-# pipeline) it runs the txpool contention benchmarks, so the sharded
-# pool's before/after trajectory against the single-mutex baseline
-# accumulates across PRs.
+# the root figure benchmarks (which include the driver submission
+# pipeline and the run handle's snapshot-stream overhead) it runs the
+# txpool contention benchmarks, so the sharded pool's before/after
+# trajectory against the single-mutex baseline accumulates across PRs.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -timeout 60m -json . ./internal/txpool > BENCH_ci.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_ci.json | sed 's/"Output":"//;s/\\n$$//' || true

@@ -175,11 +175,7 @@ func (c *Cluster) Heal() { c.inner.Heal() }
 
 // SetDelay injects extra message delay at the given nodes.
 func (c *Cluster) SetDelay(d time.Duration, nodes ...int) {
-	ids := make([]simnet.NodeID, len(nodes))
-	for i, n := range nodes {
-		ids[i] = simnet.NodeID(n)
-	}
-	c.inner.Net.SetDelay(d, ids...)
+	c.inner.SetDelay(d, nodes...)
 }
 
 // SetCorruptRate makes a fraction of the given nodes' messages arrive
@@ -198,6 +194,11 @@ func (c *Cluster) ForkStats() (total, mainChain uint64) { return c.inner.ForkSta
 
 // Height returns node 0's confirmed chain height.
 func (c *Cluster) Height() uint64 { return c.inner.Chain(0).Height() }
+
+// NodeHeight returns node i's confirmed chain height. Together with
+// Crash/Recover/PartitionHalves/Heal/SetDelay it makes the cluster a
+// valid target for declarative event timelines (see Event).
+func (c *Cluster) NodeHeight(i int) uint64 { return c.inner.NodeHeight(i) }
 
 // Internal accessors used by the driver, analytics helpers, experiments
 // and benchmarks within this module.

@@ -1,7 +1,9 @@
 package blockbench
 
 import (
+	"context"
 	"math/rand"
+	"strings"
 	"testing"
 	"time"
 )
@@ -183,41 +185,25 @@ func TestAnalyticsQ1Q2(t *testing.T) {
 func TestPartitionAttackProducesForks(t *testing.T) {
 	c := fastCluster(t, Ethereum, 4, 2)
 
-	// Deterministic partition attack: key each phase off observed chain
-	// growth rather than fixed sleeps (mining speed varies with the
-	// host; a timed window can close before one half mined anything,
-	// which is how this test used to report zero stale blocks).
-	waitGrowth := func(target uint64, nodes ...int) {
-		t.Helper()
-		deadline := time.Now().Add(60 * time.Second)
-		for time.Now().Before(deadline) {
-			ok := true
-			for _, i := range nodes {
-				if c.Inner().Chain(i).Height() < target {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				return
-			}
-			time.Sleep(10 * time.Millisecond)
-		}
-		t.Fatalf("nodes %v never reached height %d", nodes, target)
-	}
+	// Deterministic partition attack as a declarative timeline: each
+	// phase keys off observed chain growth rather than fixed sleeps
+	// (mining speed varies with the host; a timed window can close
+	// before one half mined anything, which is how this test used to
+	// report zero stale blocks). Partition once every node shares a
+	// common prefix; heal once each half has demonstrably mined two
+	// blocks past the fork point, so at least two blocks go stale
+	// whichever branch wins.
+	partition := Partition(0, 2)
+	partition.When = WhenHeightAtLeast(1)
+	heal := Heal(0)
+	heal.When = WhenGrowthAtLeast(2, 0, 2)
 
-	waitGrowth(1, 0, 1, 2, 3) // common prefix on every node
-	c.PartitionHalves(2)
-	forkBase := uint64(0)
-	for i := 0; i < c.Size(); i++ {
-		if h := c.Inner().Chain(i).Height(); h > forkBase {
-			forkBase = h
-		}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	recs := c.ExecuteEvents(ctx, []Event{partition, heal})
+	if len(recs) != 2 {
+		t.Fatalf("event timeline timed out after %d of 2 events: %v", len(recs), recs)
 	}
-	// Each half mines at least two blocks past the fork point, so at
-	// least two blocks go stale whichever branch wins after healing.
-	waitGrowth(forkBase+2, 0, 2)
-	c.Heal()
 
 	deadline := time.Now().Add(60 * time.Second)
 	for {
@@ -281,9 +267,17 @@ func TestCrashFaultTolerance(t *testing.T) {
 func TestReportString(t *testing.T) {
 	r := &Report{Platform: "ethereum", Workload: "ycsb", Nodes: 8, Clients: 8,
 		Throughput: 284, LatencyMean: 0.5, Blocks: 100, Duration: time.Minute,
-		ForkTotal: 105, ForkMain: 100}
+		ForkTotal: 105, ForkMain: 100, SubmitErrors: 2,
+		Counters: map[string]uint64{"raft.elections": 4}}
 	s := r.String()
 	if s == "" {
 		t.Fatal("empty report string")
+	}
+	// A faulty run must not print like a healthy one (crashed-leader
+	// signals: submit errors and elections).
+	for _, want := range []string{"submit-errors=2", "elections=4", "forks=5 stale"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary %q missing %q", s, want)
+		}
 	}
 }

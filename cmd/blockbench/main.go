@@ -7,20 +7,28 @@
 // -wopt key=val pairs interpreted by the workload's factory, so a new
 // workload needs zero CLI edits.
 //
+// The run executes through the driver's run handle: a live progress line
+// streams from the per-bucket snapshot channel, -out records the full
+// machine-readable series (JSONL, or CSV by extension) for offline
+// analysis, and Ctrl-C aborts the run cleanly with a partial report.
+//
 // Examples:
 //
 //	blockbench -platform hyperledger -workload ycsb -nodes 8 -clients 8 -rate 128 -duration 12s
 //	blockbench -platform quorum -workload ycsb-scan -wopt scanlen=20 -wopt distribution=uniform
 //	blockbench -platform ethereum -workload smallbank -blocking -duration 10s
 //	blockbench -platform parity -workload ycsb -wopt readprop=0.9 -wopt updateprop=0.1
+//	blockbench -platform quorum -workload ycsb -duration 10s -out run.jsonl
 //	blockbench -platforms
 //	blockbench -workloads
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -59,6 +67,8 @@ func main() {
 		blocking     = flag.Bool("blocking", false, "closed loop: wait for each tx to commit")
 		records      = flag.Int("records", 0, "shorthand for -wopt records=N (YCSB records / Smallbank accounts)")
 		seed         = flag.Int64("seed", 42, "workload RNG seed")
+		out          = flag.String("out", "", "record the run to this file: .jsonl = snapshot series + final report, .csv = series only")
+		quiet        = flag.Bool("quiet", false, "suppress the live progress line")
 		listP        = flag.Bool("platforms", false, "list registered platforms and exit")
 		listW        = flag.Bool("workloads", false, "list registered workloads and exit")
 	)
@@ -121,7 +131,19 @@ func main() {
 	fmt.Printf("running %s on %s: %d nodes, %d clients x %d threads, %v\n",
 		w.Name(), kind, *nodes, *clients, *threads, *duration)
 
-	report, err := blockbench.Run(c, w, blockbench.RunConfig{
+	var sink blockbench.Sink
+	if *out != "" {
+		if sink, err = blockbench.OpenSink(*out); err != nil {
+			fatal(err)
+		}
+	}
+
+	// Ctrl-C cancels the run's context: the driver tears down and the
+	// partial report still prints (and lands in the sink).
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
+	run, err := blockbench.Start(ctx, c, w, blockbench.RunConfig{
 		Clients:  *clients,
 		Threads:  *threads,
 		Rate:     *rate,
@@ -132,6 +154,36 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	for snap := range run.Snapshots() {
+		if sink != nil {
+			if err := sink.WriteSnapshot(snap); err != nil {
+				fatal(err)
+			}
+		}
+		if *quiet {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "\r  t=%5.1fs submitted=%-7d committed=%-7d queue=%-6d errors=%d ",
+			snap.Elapsed.Seconds(), snap.Submitted, snap.Committed, snap.QueueDepth, snap.SubmitErrors)
+		for _, ev := range snap.Events {
+			fmt.Fprintf(os.Stderr, "\n  event t=%.1fs: %s\n", snap.Elapsed.Seconds(), ev)
+		}
+	}
+	if !*quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+	report, err := run.Wait()
+	if err != nil {
+		fatal(err)
+	}
+	if sink != nil {
+		if err := sink.WriteReport(report); err != nil {
+			fatal(err)
+		}
+		if err := sink.Close(); err != nil {
+			fatal(err)
+		}
+	}
 
 	fmt.Println()
 	fmt.Println(report)
@@ -141,11 +193,24 @@ func main() {
 		report.LatencyMean, report.LatencyP50, report.LatencyP90, report.LatencyP99)
 	fmt.Printf("  blocks: %d (%.2f/s); forks: %d total / %d main\n",
 		report.Blocks, report.BlockRate(), report.ForkTotal, report.ForkMain)
-	if report.Elections > 0 {
-		fmt.Printf("  consensus: %d leader elections\n", report.Elections)
+	if report.Elections() > 0 {
+		fmt.Printf("  consensus: %d leader elections\n", report.Elections())
 	}
 	fmt.Printf("  network: %.2f MB/s, %d msgs (%d dropped)\n",
 		report.NetworkMBps(), report.MsgsSent, report.MsgsDropped)
+	if len(report.Counters) > 0 {
+		fmt.Printf("  counters:")
+		for _, name := range report.CounterNames() {
+			fmt.Printf(" %s=%d", name, report.Counters[name])
+		}
+		fmt.Println()
+	}
+	for _, ev := range report.Events {
+		fmt.Printf("  event t=%.1fs: %s\n", ev.At.Seconds(), ev.Name)
+	}
+	if *out != "" {
+		fmt.Printf("  series: %s\n", *out)
+	}
 }
 
 func fatal(err error) {

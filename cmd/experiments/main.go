@@ -22,9 +22,16 @@ func main() {
 		run   = flag.String("run", "all", "experiment id (fig5..fig19) or 'all'")
 		scale = flag.String("scale", "full", "full | quick")
 		out   = flag.String("out", "", "directory for per-experiment result files")
+		jsonl = flag.String("jsonl", "", "directory for per-run JSONL snapshot series (EXPERIMENTS.md records these)")
 		list  = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
+	if *jsonl != "" {
+		if err := os.MkdirAll(*jsonl, 0o755); err != nil {
+			fatal(err)
+		}
+		experiments.SnapshotDir = *jsonl
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {

@@ -1,6 +1,7 @@
 package blockbench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -8,6 +9,9 @@ import (
 	"time"
 
 	"blockbench/internal/metrics"
+	"blockbench/internal/schedule"
+	"blockbench/internal/simnet"
+	"blockbench/report"
 )
 
 // Workload is the paper's IWorkloadConnector: it names the contracts it
@@ -47,11 +51,16 @@ type RunConfig struct {
 	PollInterval time.Duration
 	// Bucket is the time-series resolution (default 250ms — the
 	// equivalent of the paper's per-second series at 25x time scale).
+	// It is also the snapshot-stream frame rate.
 	Bucket time.Duration
 	// Seed makes workload choices reproducible.
 	Seed int64
 	// SkipInit suppresses workload preloading (reuse a warm cluster).
 	SkipInit bool
+	// Events is a declarative fault/attack timeline the driver executes
+	// during the run (§3.3 injections). Fired events are stamped into
+	// the snapshot stream and the final Report.
+	Events []Event
 }
 
 func (cfg *RunConfig) fill() {
@@ -103,9 +112,59 @@ func (cs *clientState) queueLen() int {
 	return n + len(cs.submitCh) + int(cs.overflow.Load()) + int(cs.inflight.Load())
 }
 
-// Run executes a workload against a started cluster and reports the
-// paper's metrics.
-func Run(c *Cluster, w Workload, cfg RunConfig) (*Report, error) {
+// Handle is the run handle over one live benchmark run: the driver's
+// generator, sender, poller, scheduler and snapshot goroutines behind a
+// small observation surface. Snapshots streams one metric frame per
+// bucket while the run executes; Wait blocks until the run ends and
+// returns the final Report. Cancelling the context passed to Start
+// aborts the run — every driver goroutine is torn down, the snapshot
+// channel closes, and Wait returns a partial Report covering the window
+// measured so far.
+type Handle struct {
+	cluster  *Cluster
+	workload Workload
+	cfg      RunConfig
+
+	start time.Time
+	end   time.Time
+
+	states []*clientState
+
+	submitted    atomic.Uint64
+	committed    atomic.Uint64
+	submitErrors atomic.Uint64
+	latency      metrics.Histogram
+	queueSeries  *metrics.TimeSeries
+	commitSeries *metrics.TimeSeries
+
+	netBefore      simnet.Stats
+	countersBefore map[string]uint64
+	startHeight    uint64
+
+	snapshots chan Snapshot
+	stop      chan struct{}
+	stopOnce  sync.Once
+	done      chan struct{}
+	aborted   atomic.Bool
+
+	// snapshot-emitter-only state (the final frame is emitted after the
+	// emitter goroutine has exited, so no lock is needed).
+	seq           int
+	lastCommitted uint64
+
+	mu      sync.Mutex
+	events  []report.EventRecord // every fired event, for the Report
+	pending []string             // fired since the last frame, for Snapshots
+
+	reportOut *Report
+	err       error
+}
+
+// Start launches a workload against a started cluster and returns the
+// run handle. Workload preloading (unless cfg.SkipInit) happens
+// synchronously before the measurement window opens; the run then ends
+// when cfg.Duration elapses or ctx is cancelled, whichever comes first.
+func Start(ctx context.Context, c *Cluster, w Workload, cfg RunConfig) (*Handle, error) {
 	cfg.fill()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	if !cfg.SkipInit {
@@ -113,25 +172,38 @@ func Run(c *Cluster, w Workload, cfg RunConfig) (*Report, error) {
 			return nil, fmt.Errorf("blockbench: workload init: %w", err)
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	start := time.Now()
-	end := start.Add(cfg.Duration)
-	var (
-		committed    atomic.Uint64
-		submitted    atomic.Uint64
-		submitErrors atomic.Uint64
-		latency      metrics.Histogram
-		queueSeries  = metrics.NewTimeSeries(start, cfg.Bucket, true)
-		commitSeries = metrics.NewTimeSeries(start, cfg.Bucket, false)
-	)
-	netBefore := c.inner.Net.Stats()
-	resBefore := resourceSnapshot(c)
-	startHeight := c.Height()
+	r := &Handle{
+		cluster:  c,
+		workload: w,
+		cfg:      cfg,
+		start:    start,
+		end:      start.Add(cfg.Duration),
 
-	states := make([]*clientState, cfg.Clients)
-	for i := range states {
+		queueSeries:  metrics.NewTimeSeries(start, cfg.Bucket, true),
+		commitSeries: metrics.NewTimeSeries(start, cfg.Bucket, false),
+
+		netBefore:      c.inner.Net.Stats(),
+		countersBefore: c.inner.Counters(),
+		startHeight:    c.Height(),
+
+		// Sized for every bucket frame plus event-bearing frames and the
+		// final partial frame, so a consumer that drains keeps everything
+		// even if it lags a little; a consumer that never reads just
+		// loses the overflow (emission never blocks the run).
+		snapshots: make(chan Snapshot, int(cfg.Duration/cfg.Bucket)+len(cfg.Events)+16),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+
+	r.states = make([]*clientState, cfg.Clients)
+	for i := range r.states {
 		client := c.Client(i)
-		states[i] = &clientState{
+		r.states[i] = &clientState{
 			client:      client,
 			server:      client.Server(),
 			submitCh:    make(chan Op, cfg.Threads*4),
@@ -139,84 +211,205 @@ func Run(c *Cluster, w Workload, cfg RunConfig) (*Report, error) {
 		}
 	}
 
-	var wg sync.WaitGroup
-	stop := make(chan struct{})
-
+	var workers sync.WaitGroup
 	if cfg.Blocking {
-		runBlocking(states, w, cfg, end, stop, &wg, &committed, &submitted, &submitErrors, &latency)
-		// Senders abort their busy-retry loops once the window closes.
-		timer := time.AfterFunc(time.Until(end), func() { close(stop) })
-		defer timer.Stop()
+		r.runBlocking(&workers)
 	} else {
-		runOpenLoop(states, w, cfg, end, stop, &wg, &submitted, &submitErrors)
-		// Confirmation polling is batched per server: every client on a
-		// node shares one BlocksFrom stream instead of issuing its own
-		// copy of the same RPC (the paper's getLatestBlock(h) poller).
-		byNode := make(map[int][]*clientState)
-		for _, cs := range states {
-			byNode[cs.server] = append(byNode[cs.server], cs)
-		}
-		for _, group := range byNode {
-			wg.Add(1)
-			go func(group []*clientState) {
-				defer wg.Done()
-				var polledTo uint64
-				tick := time.NewTicker(cfg.PollInterval)
-				defer tick.Stop()
-				for {
-					select {
-					case <-stop:
-						return
-					case now := <-tick.C:
-						polledTo = pollNode(group, polledTo, now, &committed, &latency, commitSeries)
-						for _, cs := range group {
-							queueSeries.Sample(now, float64(cs.queueLen()))
-						}
-					}
-				}
-			}(group)
-		}
-		// Close the run at the deadline.
-		time.Sleep(time.Until(end))
-		close(stop)
+		r.runOpenLoop(&workers)
+		r.runPollers(&workers)
 	}
-	wg.Wait()
-	elapsed := time.Since(start)
+	if len(cfg.Events) > 0 {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			schedule.Run(c, start, cfg.Events, cfg.PollInterval, r.stop, r.recordEvent)
+		}()
+	}
+	workers.Add(1)
+	go func() {
+		defer workers.Done()
+		r.snapshotLoop()
+	}()
 
+	// Deadline / cancellation controller.
+	go func() {
+		timer := time.NewTimer(time.Until(r.end))
+		defer timer.Stop()
+		select {
+		case <-ctx.Done():
+			r.aborted.Store(true)
+			r.halt()
+		case <-timer.C:
+			r.halt()
+		case <-r.stop:
+		}
+	}()
+
+	// Finisher: wait out the teardown, emit the final partial frame,
+	// build the report, release waiters.
+	go func() {
+		<-r.stop
+		workers.Wait()
+		r.emitSnapshot(time.Now())
+		r.finish()
+		close(r.snapshots)
+		close(r.done)
+	}()
+	return r, nil
+}
+
+// Run executes a workload against a started cluster and reports the
+// paper's metrics — the original blocking API, now a thin wrapper over
+// the run handle: it drains the snapshot stream and waits the run out.
+func Run(c *Cluster, w Workload, cfg RunConfig) (*Report, error) {
+	run, err := Start(context.Background(), c, w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for range run.Snapshots() {
+	}
+	return run.Wait()
+}
+
+// halt closes the stop channel exactly once, beginning teardown.
+func (r *Handle) halt() { r.stopOnce.Do(func() { close(r.stop) }) }
+
+// Snapshots returns the live metric stream: one frame per bucket (plus a
+// final partial frame), closed when the run ends. The driver never
+// blocks on this channel; a consumer that stops reading only loses
+// frames beyond the channel's buffer.
+func (r *Handle) Snapshots() <-chan Snapshot { return r.snapshots }
+
+// Wait blocks until the run has ended — duration elapsed or context
+// cancelled — and every driver goroutine has been torn down, then
+// returns the final Report. After a cancelled context the Report is
+// partial (Report.Aborted is set) and the error is still nil: an abort
+// is a legitimate way to end a run early.
+func (r *Handle) Wait() (*Report, error) {
+	<-r.done
+	return r.reportOut, r.err
+}
+
+// recordEvent stamps one fired schedule event for both the snapshot
+// stream and the final report.
+func (r *Handle) recordEvent(rec schedule.Record) {
+	r.mu.Lock()
+	r.events = append(r.events, report.EventRecord{Name: rec.Name, At: rec.At})
+	r.pending = append(r.pending, rec.Name)
+	r.mu.Unlock()
+}
+
+// snapshotLoop emits one frame per bucket until teardown.
+func (r *Handle) snapshotLoop() {
+	tick := time.NewTicker(r.cfg.Bucket)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case now := <-tick.C:
+			r.emitSnapshot(now)
+		}
+	}
+}
+
+// emitSnapshot assembles and (non-blockingly) publishes one frame.
+func (r *Handle) emitSnapshot(now time.Time) {
+	queue := 0
+	for _, cs := range r.states {
+		queue += cs.queueLen()
+	}
+	r.mu.Lock()
+	events := r.pending
+	r.pending = nil
+	r.mu.Unlock()
+
+	committed := r.committed.Load()
+	snap := Snapshot{
+		Seq:               r.seq,
+		Elapsed:           now.Sub(r.start),
+		Submitted:         r.submitted.Load(),
+		Committed:         committed,
+		SubmitErrors:      r.submitErrors.Load(),
+		CommittedInBucket: committed - r.lastCommitted,
+		QueueDepth:        queue,
+		LatencyMean:       r.latency.Mean(),
+		LatencyP50:        r.latency.Quantile(0.50),
+		LatencyP99:        r.latency.Quantile(0.99),
+		Counters:          counterDelta(r.cluster.inner.Counters(), r.countersBefore),
+		Events:            events,
+	}
+	r.seq++
+	r.lastCommitted = committed
+	select {
+	case r.snapshots <- snap:
+	default: // consumer not draining; drop rather than stall the run
+	}
+}
+
+// finish computes the final Report after every worker goroutine exited.
+func (r *Handle) finish() {
+	elapsed := time.Since(r.start)
+	c := r.cluster
 	netAfter := c.inner.Net.Stats()
-	resAfter := resourceSnapshot(c)
 	total, mainChain := c.ForkStats()
+	aborted := r.aborted.Load()
 
-	r := &Report{
+	// Throughput is normalized over the configured window; an aborted
+	// run is normalized over the window it actually measured.
+	window := r.cfg.Duration
+	if aborted && elapsed < window {
+		window = elapsed
+	}
+	committed := r.committed.Load()
+
+	r.mu.Lock()
+	events := append([]report.EventRecord(nil), r.events...)
+	r.mu.Unlock()
+
+	rep := &Report{
 		Platform:     string(c.Kind()),
-		Workload:     w.Name(),
+		Workload:     r.workload.Name(),
 		Nodes:        c.Size(),
-		Clients:      cfg.Clients,
+		Clients:      r.cfg.Clients,
 		Duration:     elapsed,
-		Submitted:    submitted.Load(),
-		SubmitErrors: submitErrors.Load(),
-		Committed:    committed.Load(),
-		Throughput:   float64(committed.Load()) / cfg.Duration.Seconds(),
-		LatencyMean:  latency.Mean(),
-		LatencyP50:   latency.Quantile(0.50),
-		LatencyP90:   latency.Quantile(0.90),
-		LatencyP99:   latency.Quantile(0.99),
-		QueueSeries:  queueSeries.Values(),
-		CommitSeries: commitSeries.Values(),
-		Bucket:       cfg.Bucket,
-		Blocks:       c.Height() - startHeight,
+		Aborted:      aborted,
+		Submitted:    r.submitted.Load(),
+		SubmitErrors: r.submitErrors.Load(),
+		Committed:    committed,
+		Throughput:   float64(committed) / window.Seconds(),
+		LatencyMean:  r.latency.Mean(),
+		LatencyP50:   r.latency.Quantile(0.50),
+		LatencyP90:   r.latency.Quantile(0.90),
+		LatencyP99:   r.latency.Quantile(0.99),
+		QueueSeries:  r.queueSeries.Values(),
+		CommitSeries: r.commitSeries.Values(),
+		Bucket:       r.cfg.Bucket,
+		Blocks:       c.Height() - r.startHeight,
 		ForkTotal:    total,
 		ForkMain:     mainChain,
-		BytesSent:    netAfter.BytesSent - netBefore.BytesSent,
-		MsgsSent:     netAfter.MessagesSent - netBefore.MessagesSent,
-		MsgsDropped:  netAfter.MessagesDropped - netBefore.MessagesDropped,
-		PowHashes:    resAfter.powHashes - resBefore.powHashes,
-		ExecTime:     resAfter.execTime - resBefore.execTime,
-		Elections:    resAfter.elections - resBefore.elections,
+		BytesSent:    netAfter.BytesSent - r.netBefore.BytesSent,
+		MsgsSent:     netAfter.MessagesSent - r.netBefore.MessagesSent,
+		MsgsDropped:  netAfter.MessagesDropped - r.netBefore.MessagesDropped,
+		Counters:     counterDelta(c.inner.Counters(), r.countersBefore),
+		Events:       events,
 	}
-	cdfV, cdfF := latency.CDF(40)
-	r.LatencyCDFValues, r.LatencyCDFFractions = cdfV, cdfF
-	return r, nil
+	rep.LatencyCDFValues, rep.LatencyCDFFractions = r.latency.CDF(40)
+	r.reportOut = rep
+}
+
+// counterDelta returns after-before per key, keeping zero-valued keys so
+// consumers can see which counters a platform exposes at all.
+func counterDelta(after, before map[string]uint64) map[string]uint64 {
+	out := make(map[string]uint64, len(after))
+	for k, v := range after {
+		if b := before[k]; v >= b {
+			out[k] = v - b
+		} else {
+			out[k] = 0
+		}
+	}
+	return out
 }
 
 // submitWithRetry is the submission core shared by the open-loop sender
@@ -249,11 +442,9 @@ func submitWithRetry(cl *Client, op Op, stop <-chan struct{},
 // runOpenLoop starts the pipelines: one generator per client producing
 // at Rate into the bounded submit channel, and Threads sender workers
 // per client draining it.
-func runOpenLoop(states []*clientState, w Workload, cfg RunConfig, end time.Time,
-	stop chan struct{}, wg *sync.WaitGroup,
-	submitted, submitErrors *atomic.Uint64) {
-
-	for i, cs := range states {
+func (r *Handle) runOpenLoop(wg *sync.WaitGroup) {
+	cfg, w, end, stop := r.cfg, r.workload, r.end, r.stop
+	for i, cs := range r.states {
 		gen := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
 		wg.Add(1)
 		go func(i int, cs *clientState, gen *rand.Rand) {
@@ -262,6 +453,11 @@ func runOpenLoop(states []*clientState, w Workload, cfg RunConfig, end time.Time
 				// As-fast-as-possible: the bounded channel is the
 				// standing queue; its backpressure paces the generator.
 				for time.Now().Before(end) {
+					select {
+					case <-stop: // aborted mid-window
+						return
+					default:
+					}
 					op := w.Next(i, gen)
 					select {
 					case cs.submitCh <- op:
@@ -315,8 +511,8 @@ func runOpenLoop(states []*clientState, w Workload, cfg RunConfig, end time.Time
 						return
 					case op := <-cs.submitCh:
 						cs.inflight.Add(1)
-						if id, ok := submitWithRetry(cs.client, op, stop, submitErrors); ok {
-							submitted.Add(1)
+						if id, ok := submitWithRetry(cs.client, op, stop, &r.submitErrors); ok {
+							r.submitted.Add(1)
 							cs.mu.Lock()
 							cs.outstanding[id] = time.Now()
 							cs.mu.Unlock()
@@ -329,39 +525,87 @@ func runOpenLoop(states []*clientState, w Workload, cfg RunConfig, end time.Time
 	}
 }
 
+// runPollers starts the confirmation pollers, batched per server: every
+// client on a node shares one BlocksFrom stream instead of issuing its
+// own copy of the same RPC (the paper's getLatestBlock(h) poller).
+func (r *Handle) runPollers(wg *sync.WaitGroup) {
+	byNode := make(map[int][]*clientState)
+	for _, cs := range r.states {
+		byNode[cs.server] = append(byNode[cs.server], cs)
+	}
+	for _, group := range byNode {
+		wg.Add(1)
+		go func(group []*clientState) {
+			defer wg.Done()
+			var polledTo uint64
+			tick := time.NewTicker(r.cfg.PollInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-r.stop:
+					return
+				case now := <-tick.C:
+					polledTo = pollNode(group, polledTo, now, &r.committed, &r.latency, r.commitSeries)
+					for _, cs := range group {
+						r.queueSeries.Sample(now, float64(cs.queueLen()))
+					}
+				}
+			}
+		}(group)
+	}
+}
+
 // runBlocking implements the closed-loop latency mode: each thread
 // submits one transaction through the shared submission core and polls
 // until it commits.
-func runBlocking(states []*clientState, w Workload, cfg RunConfig, end time.Time,
-	stop chan struct{}, wg *sync.WaitGroup,
-	committed, submitted, submitErrors *atomic.Uint64,
-	latency *metrics.Histogram) {
-
-	for i, cs := range states {
+func (r *Handle) runBlocking(wg *sync.WaitGroup) {
+	cfg, w, end, stop := r.cfg, r.workload, r.end, r.stop
+	for i, cs := range r.states {
 		for t := 0; t < cfg.Threads; t++ {
 			gen := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919 + int64(t)*104729))
 			wg.Add(1)
 			go func(i int, cs *clientState, gen *rand.Rand) {
 				defer wg.Done()
 				for time.Now().Before(end) {
+					select {
+					case <-stop: // aborted mid-window
+						return
+					default:
+					}
 					op := w.Next(i, gen)
 					t0 := time.Now()
-					id, ok := submitWithRetry(cs.client, op, stop, submitErrors)
+					id, ok := submitWithRetry(cs.client, op, stop, &r.submitErrors)
 					if !ok {
 						return
 					}
-					submitted.Add(1)
-					for time.Now().Before(end.Add(10 * time.Second)) {
+					r.submitted.Add(1)
+					// An in-flight transaction is polled up to 10s past
+					// the window's natural end (slow platforms commit the
+					// tail after the deadline, and its latency sample is
+					// part of the distribution); only an abort cuts the
+					// wait short.
+					grace := end.Add(10 * time.Second)
+					for time.Now().Before(grace) {
 						ok, err := cs.client.Committed(id)
 						if err != nil {
 							break
 						}
 						if ok {
-							latency.Observe(time.Since(t0))
-							committed.Add(1)
+							r.latency.Observe(time.Since(t0))
+							r.committed.Add(1)
+							r.commitSeries.Sample(time.Now(), 1)
 							break
 						}
-						time.Sleep(cfg.PollInterval)
+						select {
+						case <-stop:
+							if r.aborted.Load() {
+								return
+							}
+							// Natural end: stop stays closed, so sleep
+							// plainly for the rest of the grace period.
+							time.Sleep(cfg.PollInterval)
+						case <-time.After(cfg.PollInterval):
+						}
 					}
 				}
 			}(i, cs, gen)

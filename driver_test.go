@@ -1,0 +1,225 @@
+package blockbench
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"blockbench/internal/consensus/raft"
+)
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// want, tolerating the runtime's own background goroutines settling.
+func waitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: %d > %d\n%s", n, want,
+				buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestRunHandleStreamsSnapshots(t *testing.T) {
+	c := fastCluster(t, Hyperledger, 4, 2)
+	run, err := Start(context.Background(), c, &YCSBWorkload{Records: 50}, RunConfig{
+		Clients:  2,
+		Threads:  2,
+		Rate:     60,
+		Duration: 2 * time.Second,
+		Bucket:   250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var frames []Snapshot
+	for snap := range run.Snapshots() {
+		frames = append(frames, snap)
+	}
+	r, err := run.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// ≥ 1 frame per bucket: a 2s run at 250ms buckets has 8 buckets (the
+	// last one arrives as the final partial frame). One coalesced tick is
+	// tolerated — time.Ticker drops ticks when a loaded host deschedules
+	// the emitter past a bucket boundary.
+	if len(frames) < 7 {
+		t.Fatalf("got %d snapshots for 8 buckets", len(frames))
+	}
+	var prev Snapshot
+	for i, s := range frames {
+		if s.Seq != i {
+			t.Fatalf("frame %d has seq %d", i, s.Seq)
+		}
+		if s.Submitted < prev.Submitted || s.Committed < prev.Committed ||
+			s.Elapsed < prev.Elapsed {
+			t.Fatalf("cumulative metrics went backwards at frame %d: %+v -> %+v", i, prev, s)
+		}
+		if s.Counters == nil {
+			t.Fatalf("frame %d has no platform counters", i)
+		}
+		prev = s
+	}
+	last := frames[len(frames)-1]
+	if last.Committed == 0 || last.Committed != r.Committed {
+		t.Fatalf("final frame committed=%d, report committed=%d", last.Committed, r.Committed)
+	}
+	if _, ok := last.Counters["pbft.batches"]; !ok {
+		t.Fatalf("PBFT counters missing from snapshot: %v", last.Counters)
+	}
+	if r.Aborted {
+		t.Fatal("uncancelled run marked aborted")
+	}
+}
+
+func TestRunHandleCancelReturnsPartialReportLeakFree(t *testing.T) {
+	c := fastCluster(t, Hyperledger, 4, 2)
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	run, err := Start(ctx, c, DoNothingWorkload{}, RunConfig{
+		Clients:  2,
+		Threads:  2,
+		Rate:     100,
+		Duration: 5 * time.Minute, // the run must end by cancellation, not deadline
+		Bucket:   100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Let the run commit something so the partial report is non-trivial.
+	deadline := time.Now().Add(30 * time.Second)
+	for run.committed.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+
+	r, err := run.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r == nil {
+		t.Fatal("cancelled run returned no report")
+	}
+	if !r.Aborted {
+		t.Fatal("cancelled run not marked aborted")
+	}
+	if r.Committed == 0 {
+		t.Fatal("partial report lost the committed count")
+	}
+	if r.Duration >= 5*time.Minute {
+		t.Fatalf("cancelled run claims the full window: %v", r.Duration)
+	}
+
+	// The snapshot channel must be closed.
+	if _, open := <-run.Snapshots(); open {
+		// Buffered frames may remain; drain to the close.
+		for range run.Snapshots() {
+		}
+	}
+	if _, open := <-run.Snapshots(); open {
+		t.Fatal("snapshot channel still open after Wait")
+	}
+
+	// Every driver goroutine must be gone (cluster goroutines persist —
+	// they were counted in before).
+	waitGoroutines(t, before+2)
+}
+
+func TestRunHandleCancelBlockingMode(t *testing.T) {
+	c := fastCluster(t, Hyperledger, 4, 1)
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	run, err := Start(ctx, c, DoNothingWorkload{}, RunConfig{
+		Clients:  1,
+		Threads:  2,
+		Blocking: true,
+		Duration: 5 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	cancel()
+	r, err := run.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Aborted {
+		t.Fatal("cancelled blocking run not marked aborted")
+	}
+	waitGoroutines(t, before+2)
+}
+
+// TestEventScheduleCrashRaisesElections is the acceptance scenario: a
+// scheduled CrashNode of the Raft leader on the quorum platform shows
+// raft.elections rising in the generic Counters map of the final Report,
+// with the event stamped into the snapshot stream.
+func TestEventScheduleCrashRaisesElections(t *testing.T) {
+	c := fastCluster(t, Quorum, 4, 2)
+
+	// Find the elected leader (the event schedule needs its index).
+	leader := -1
+	deadline := time.Now().Add(30 * time.Second)
+	for leader < 0 && time.Now().Before(deadline) {
+		for i := 0; i < c.Size(); i++ {
+			if e, ok := c.Inner().Node(i).Consensus().(*raft.Engine); ok && e.IsLeader() {
+				leader = i
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if leader < 0 {
+		t.Fatal("no raft leader elected")
+	}
+
+	run, err := Start(context.Background(), c, &YCSBWorkload{Records: 50}, RunConfig{
+		Clients:  2,
+		Threads:  2,
+		Rate:     60,
+		Duration: 3 * time.Second,
+		Events:   []Event{CrashNode(500*time.Millisecond, leader)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawEvent := false
+	for snap := range run.Snapshots() {
+		for _, name := range snap.Events {
+			if name == CrashNode(0, leader).Act.Name {
+				sawEvent = true
+			}
+		}
+	}
+	r, err := run.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawEvent {
+		t.Fatal("crash event never stamped into the snapshot stream")
+	}
+	if len(r.Events) != 1 || r.Events[0].At < 500*time.Millisecond {
+		t.Fatalf("report event timeline wrong: %+v", r.Events)
+	}
+	if r.Counters["raft.elections"] == 0 {
+		t.Fatalf("crashing the leader did not raise raft.elections: %v", r.Counters)
+	}
+	if r.Elections() == 0 {
+		t.Fatal("Elections() accessor disagrees with the counters map")
+	}
+}

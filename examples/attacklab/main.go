@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -38,23 +39,27 @@ func attack(kind blockbench.Platform) {
 	defer cluster.Stop()
 	cluster.Start()
 
-	// Drive background load while the attack plays out.
-	go func() {
-		_, err := blockbench.Run(cluster, w, blockbench.RunConfig{
-			Clients: 8, Threads: 2, Rate: 32, Duration: 8 * time.Second,
-		})
-		if err != nil {
-			log.Printf("%s: driver: %v", kind, err)
+	// Drive background load while the attack plays out; the attack
+	// itself is a declarative timeline the driver executes and stamps
+	// into the live snapshot stream.
+	run, err := blockbench.Start(context.Background(), cluster, w, blockbench.RunConfig{
+		Clients: 8, Threads: 2, Rate: 32, Duration: 8 * time.Second,
+		Events: []blockbench.Event{
+			blockbench.Partition(2*time.Second, 4),
+			blockbench.Heal(6 * time.Second),
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for snap := range run.Snapshots() {
+		for _, ev := range snap.Events {
+			fmt.Printf("%-12s t=%-3.0fs %s\n", kind, snap.Elapsed.Seconds(), ev)
 		}
-	}()
-
-	time.Sleep(2 * time.Second)
-	fmt.Printf("%-12s t=2s  partitioning the network in half...\n", kind)
-	cluster.PartitionHalves(4)
-
-	time.Sleep(4 * time.Second)
-	fmt.Printf("%-12s t=6s  healing the partition...\n", kind)
-	cluster.Heal()
+	}
+	if _, err := run.Wait(); err != nil {
+		log.Fatalf("%s: driver: %v", kind, err)
+	}
 
 	time.Sleep(3 * time.Second)
 	total, main := cluster.ForkStats()

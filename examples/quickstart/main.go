@@ -1,9 +1,11 @@
 // Quickstart: boot a 4-node Hyperledger (PBFT) cluster, run the YCSB
-// key-value workload through the BLOCKBENCH driver for five seconds, and
-// print the standard metrics.
+// key-value workload through the BLOCKBENCH driver's run handle for five
+// seconds — watching the live per-bucket metric stream — and print the
+// standard metrics.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -31,12 +33,23 @@ func main() {
 	defer cluster.Stop()
 	cluster.Start()
 
-	report, err := blockbench.Run(cluster, workload, blockbench.RunConfig{
+	// Start returns a handle on the live run. Snapshots() streams one
+	// frame per bucket (cancel the context to abort early and still get
+	// a partial report from Wait).
+	run, err := blockbench.Start(context.Background(), cluster, workload, blockbench.RunConfig{
 		Clients:  4,
 		Threads:  2,
 		Rate:     128, // tx/s per client
 		Duration: 5 * time.Second,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for snap := range run.Snapshots() {
+		fmt.Printf("t=%4.1fs committed=%-5d queue=%-4d p50=%.3fs\n",
+			snap.Elapsed.Seconds(), snap.Committed, snap.QueueDepth, snap.LatencyP50)
+	}
+	report, err := run.Wait()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,10 +12,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"sort"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"blockbench"
@@ -110,8 +113,59 @@ func newCluster(kind blockbench.Platform, nodes, clients int,
 	return blockbench.NewCluster(cfg, clients)
 }
 
+// SnapshotDir, when non-empty, makes every measured run stream its
+// per-bucket snapshots (and final report) to a JSONL file under this
+// directory — the machine-readable series EXPERIMENTS.md macro runs
+// record. Set it before running experiments (the cmd/experiments
+// -jsonl flag does).
+var SnapshotDir string
+
+// snapSeq numbers sink files so repeated configurations within one
+// experiment do not overwrite each other.
+var snapSeq atomic.Uint64
+
+// drive runs a preloaded workload on a started cluster through the run
+// handle, streaming the live series to a JSONL sink when SnapshotDir is
+// set. Experiments that keep their own cluster (post-run fork stats)
+// call it directly; everything else goes through measure.
+func drive(c *blockbench.Cluster, w blockbench.Workload,
+	rc blockbench.RunConfig) (*blockbench.Report, error) {
+
+	var sink blockbench.Sink
+	if SnapshotDir != "" {
+		name := fmt.Sprintf("%s-%s-n%d-%03d.jsonl", c.Kind(), w.Name(), c.Size(), snapSeq.Add(1))
+		var err error
+		if sink, err = blockbench.OpenSink(filepath.Join(SnapshotDir, name)); err != nil {
+			return nil, err
+		}
+		defer sink.Close()
+	}
+
+	rc.SkipInit = true
+	run, err := blockbench.Start(context.Background(), c, w, rc)
+	if err != nil {
+		return nil, err
+	}
+	// Drain the stream to the end even if a sink write fails, so the
+	// run tears down before the caller stops the cluster.
+	var sinkErr error
+	for snap := range run.Snapshots() {
+		if sink != nil && sinkErr == nil {
+			sinkErr = sink.WriteSnapshot(snap)
+		}
+	}
+	r, err := run.Wait()
+	if err == nil {
+		err = sinkErr
+	}
+	if err == nil && sink != nil {
+		err = sink.WriteReport(r)
+	}
+	return r, err
+}
+
 // measure runs one workload on a fresh cluster: preload while stopped,
-// then start and drive.
+// then start and drive through the run handle.
 func measure(kind blockbench.Platform, nodes, clients int, w blockbench.Workload,
 	rc blockbench.RunConfig, tweak func(*blockbench.ClusterConfig)) (*blockbench.Report, error) {
 
@@ -124,11 +178,10 @@ func measure(kind blockbench.Platform, nodes, clients int, w blockbench.Workload
 		return nil, err
 	}
 	c.Start()
-	rc.SkipInit = true
 	if rc.Clients == 0 {
 		rc.Clients = clients
 	}
-	return blockbench.Run(c, w, rc)
+	return drive(c, w, rc)
 }
 
 func fmtSeries(vals []float64, every int) string {

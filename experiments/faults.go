@@ -24,27 +24,17 @@ func Fig9CrashFault(s Scale) (*Result, error) {
 	for _, kind := range platforms {
 		for _, n := range sizes {
 			w := macroWorkload("ycsb", s)
-			c, err := newCluster(kind, n, 8, w, nil)
-			if err != nil {
-				return nil, err
-			}
-			if err := w.Init(c, rand.New(rand.NewSource(7))); err != nil {
-				c.Stop()
-				return nil, err
-			}
-			c.Start()
 			// Kill 4 nodes at the halfway point (the paper's 250th
-			// second of a 400 s run).
-			go func(c *blockbench.Cluster, n int) {
-				time.Sleep(s.Duration / 2)
-				for i := n - 4; i < n; i++ {
-					c.Crash(i)
-				}
-			}(c, n)
-			r, err := blockbench.Run(c, w, blockbench.RunConfig{
-				Clients: 8, Threads: 4, Rate: 64, Duration: s.Duration, SkipInit: true,
-			})
-			c.Stop()
+			// second of a 400 s run), as a declarative timeline the
+			// driver executes and stamps into the series.
+			var events []blockbench.Event
+			for i := n - 4; i < n; i++ {
+				events = append(events, blockbench.CrashNode(s.Duration/2, i))
+			}
+			r, err := measure(kind, n, 8, w, blockbench.RunConfig{
+				Clients: 8, Threads: 4, Rate: 64, Duration: s.Duration,
+				Events: events,
+			}, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -74,16 +64,15 @@ func Fig10PartitionAttack(s Scale) (*Result, error) {
 		c.Start()
 
 		// Partition at 1/4 of the run, heal at 3/4 (paper: attack from
-		// t=100 s lasting 150 s of a 400 s run).
-		go func(c *blockbench.Cluster) {
-			time.Sleep(s.Duration / 4)
-			c.PartitionHalves(4)
-			time.Sleep(s.Duration / 2)
-			c.Heal()
-		}(c)
-
-		r, err := blockbench.Run(c, w, blockbench.RunConfig{
-			Clients: 8, Threads: 2, Rate: 32, Duration: s.Duration, SkipInit: true,
+		// t=100 s lasting 150 s of a 400 s run) — scheduled, not
+		// hand-rolled, so the firings land in the report's timeline and
+		// the recorded series.
+		r, err := drive(c, w, blockbench.RunConfig{
+			Clients: 8, Threads: 2, Rate: 32, Duration: s.Duration,
+			Events: []blockbench.Event{
+				blockbench.Partition(s.Duration/4, 4),
+				blockbench.Heal(3 * s.Duration / 4),
+			},
 		})
 		if err != nil {
 			c.Stop()
@@ -126,7 +115,7 @@ func Fig16Utilization(s Scale) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		cpuSec := float64(r.PowHashes)*nsPerHash/1e9 + r.ExecTime.Seconds()
+		cpuSec := float64(r.PowHashes())*nsPerHash/1e9 + r.ExecTime().Seconds()
 		cpuPct := 100 * cpuSec / (r.Duration.Seconds() * float64(r.Nodes))
 		res.addf("%-12s cpu=%5.1f%% of %d nodes x 1 core, net=%7.2f MB/s, msgs=%d",
 			kind, cpuPct, r.Nodes, r.NetworkMBps(), r.MsgsSent)

@@ -216,6 +216,14 @@ func (e *Engine) ViewChanges() uint64 { return e.viewChanges.Load() }
 // BatchesCommitted counts batches this replica has executed.
 func (e *Engine) BatchesCommitted() uint64 { return e.batchesDone.Load() }
 
+// Counters implements metrics.CounterProvider.
+func (e *Engine) Counters() map[string]uint64 {
+	return map[string]uint64{
+		"pbft.view_changes": e.viewChanges.Load(),
+		"pbft.batches":      e.batchesDone.Load(),
+	}
+}
+
 // timerLoop drives batch proposal (when primary) and view-change
 // timeouts.
 func (e *Engine) timerLoop() {

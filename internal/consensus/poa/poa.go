@@ -78,6 +78,11 @@ func (e *Engine) Stop() {
 // Sealed reports how many blocks this authority has produced.
 func (e *Engine) Sealed() uint64 { return e.sealed.Load() }
 
+// Counters implements metrics.CounterProvider.
+func (e *Engine) Counters() map[string]uint64 {
+	return map[string]uint64{"poa.sealed": e.sealed.Load()}
+}
+
 func (e *Engine) myTurn(step int64) bool {
 	n := int64(len(e.opts.Authorities))
 	if n == 0 {

@@ -107,6 +107,14 @@ func (e *Engine) Hashes() uint64 { return e.hashes.Load() }
 // Mined reports blocks sealed by this node.
 func (e *Engine) Mined() uint64 { return e.mined.Load() }
 
+// Counters implements metrics.CounterProvider.
+func (e *Engine) Counters() map[string]uint64 {
+	return map[string]uint64{
+		"pow.hashes": e.hashes.Load(),
+		"pow.mined":  e.mined.Load(),
+	}
+}
+
 // nextDifficulty retargets off the parent with a damped proportional
 // controller: the difficulty moves a quarter of the way toward the
 // value implied by the observed block interval, with the per-block

@@ -259,6 +259,15 @@ func (e *Engine) LeaderWins() uint64 { return e.leaderWins.Load() }
 // blocks.
 func (e *Engine) BatchesCommitted() uint64 { return e.batchesDone.Load() }
 
+// Counters implements metrics.CounterProvider.
+func (e *Engine) Counters() map[string]uint64 {
+	return map[string]uint64{
+		"raft.elections":   e.elections.Load(),
+		"raft.leader_wins": e.leaderWins.Load(),
+		"raft.batches":     e.batchesDone.Load(),
+	}
+}
+
 func (e *Engine) resetDeadlineLocked(now time.Time) {
 	jitter := time.Duration(e.rng.Int63n(int64(e.opts.ElectionTimeout)))
 	e.deadline = now.Add(e.opts.ElectionTimeout + jitter)

@@ -181,6 +181,16 @@ func (e *EVMEngine) ExecTime() time.Duration { return time.Duration(e.execTime.L
 // Steps reports the total VM instructions executed.
 func (e *EVMEngine) Steps() uint64 { return e.steps.Load() }
 
+// Counters implements metrics.CounterProvider. Peak memory is excluded:
+// it is a high-water mark, not a monotonic counter, so per-run deltas
+// and per-node sums would be meaningless.
+func (e *EVMEngine) Counters() map[string]uint64 {
+	return map[string]uint64{
+		"exec.time_ns": uint64(e.execTime.Load()),
+		"exec.steps":   e.steps.Load(),
+	}
+}
+
 // NativeEngine executes transactions through compiled-in Go chaincodes,
 // the Hyperledger execution model.
 type NativeEngine struct {
@@ -254,3 +264,8 @@ func (e *NativeEngine) Query(db *state.DB, contract, method string, args [][]byt
 
 // ExecTime reports cumulative wall-clock time spent inside chaincode.
 func (e *NativeEngine) ExecTime() time.Duration { return time.Duration(e.execTime.Load()) }
+
+// Counters implements metrics.CounterProvider.
+func (e *NativeEngine) Counters() map[string]uint64 {
+	return map[string]uint64{"exec.time_ns": uint64(e.execTime.Load())}
+}

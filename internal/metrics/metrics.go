@@ -12,6 +12,18 @@ import (
 	"time"
 )
 
+// CounterProvider is implemented by consensus and execution engines that
+// expose named monotonic counters to the driver's metric stream. Keys
+// are namespaced "engine.metric" (e.g. "pow.hashes", "raft.elections",
+// "exec.time_ns"); values must only grow, so per-run deltas and per-node
+// sums are meaningful. The platform cluster aggregates providers across
+// nodes without knowing concrete engine types — implementing this
+// interface is all a new backend needs for its counters to appear in
+// Report.Counters and every Snapshot.
+type CounterProvider interface {
+	Counters() map[string]uint64
+}
+
 // Counter is a monotonically increasing atomic counter.
 type Counter struct{ v atomic.Uint64 }
 

@@ -24,6 +24,7 @@ import (
 	"blockbench/internal/exec"
 	"blockbench/internal/kvstore"
 	"blockbench/internal/ledger"
+	"blockbench/internal/metrics"
 	"blockbench/internal/node"
 	"blockbench/internal/simnet"
 	"blockbench/internal/txpool"
@@ -320,6 +321,41 @@ func (c *Cluster) PartitionHalves(k int) {
 
 // Heal removes a partition.
 func (c *Cluster) Heal() { c.Net.Heal() }
+
+// SetDelay injects extra message delay at the given nodes.
+func (c *Cluster) SetDelay(d time.Duration, nodes ...int) {
+	ids := make([]simnet.NodeID, len(nodes))
+	for i, n := range nodes {
+		ids[i] = simnet.NodeID(n)
+	}
+	c.Net.SetDelay(d, ids...)
+}
+
+// NodeHeight returns node i's confirmed chain height (the schedule
+// package's growth triggers key fault timelines off it).
+func (c *Cluster) NodeHeight(i int) uint64 { return c.chains[i].Height() }
+
+// Counters aggregates every engine counter the cluster's nodes expose:
+// each node's consensus engine and execution engine is asked for its
+// metrics.CounterProvider map and same-named counters are summed across
+// nodes. Engines that expose no counters contribute nothing — there is
+// no per-backend case here, so any platform registered through the
+// preset registry flows into Report.Counters automatically.
+func (c *Cluster) Counters() map[string]uint64 {
+	out := make(map[string]uint64)
+	add := func(v any) {
+		if p, ok := v.(metrics.CounterProvider); ok {
+			for k, n := range p.Counters() {
+				out[k] += n
+			}
+		}
+	}
+	for i, n := range c.nodes {
+		add(n.Consensus())
+		add(c.engines[i])
+	}
+	return out
+}
 
 // ForkStats reports the security metric of §3.3: the number of blocks
 // generated on any branch (unioned across nodes) versus the length of

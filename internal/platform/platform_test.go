@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"blockbench/internal/crypto"
+	"blockbench/internal/schedule"
 	"blockbench/internal/types"
 )
 
@@ -199,33 +200,6 @@ func TestHyperledgerStallsWithoutQuorum(t *testing.T) {
 	}
 }
 
-// waitHeights polls until every listed node's canonical chain reaches
-// target. Partition/fork tests key off observed chain growth instead of
-// fixed sleeps: PoW mining speed varies with the host, so a timed window
-// can close before a slow half has mined anything (the old flake — both
-// fork tests saw zero stale blocks on slow machines).
-func waitHeights(t *testing.T, c *Cluster, nodes []int, target uint64) {
-	t.Helper()
-	deadline := time.Now().Add(60 * time.Second)
-	for time.Now().Before(deadline) {
-		ok := true
-		for _, i := range nodes {
-			if c.Chain(i).Height() < target {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			return
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	for _, i := range nodes {
-		t.Logf("node %d height=%d (want %d)", i, c.Chain(i).Height(), target)
-	}
-	t.Fatal("chains never reached the target height")
-}
-
 func TestEthereumPartitionForksAndHeals(t *testing.T) {
 	keys := clientKeys(2)
 	cfg := fastConfig(Ethereum, 4, keys)
@@ -236,26 +210,39 @@ func TestEthereumPartitionForksAndHeals(t *testing.T) {
 	defer func() { c.Stop(); c.Close() }()
 	c.Start()
 
-	// Mine a common prefix that reaches every node.
-	waitHeights(t, c, []int{0, 1, 2, 3}, 1)
-	c.PartitionHalves(2)
+	// The partition attack as a declarative timeline, keyed off observed
+	// chain growth instead of fixed sleeps: PoW mining speed varies with
+	// the host, so a timed window can close before a slow half has mined
+	// anything (the old flake — both fork tests saw zero stale blocks on
+	// slow machines). Partition once a common prefix reaches every node;
+	// heal once both halves have demonstrably mined two blocks past the
+	// fork point, which guarantees at least two blocks end up stale
+	// whichever side wins.
+	stop := make(chan struct{})
+	timeout := time.AfterFunc(60*time.Second, func() { close(stop) })
+	defer timeout.Stop()
+	recs := schedule.Run(c, time.Now(), []schedule.Event{
+		{When: schedule.HeightAtLeast(1), Act: schedule.Partition(2)},
+		{When: schedule.GrowthAtLeast(2, 0, 2), Act: schedule.Heal()},
+	}, 10*time.Millisecond, stop, nil)
+	if len(recs) != 2 {
+		for i := 0; i < c.Size(); i++ {
+			t.Logf("node %d height=%d", i, c.Chain(i).Height())
+		}
+		t.Fatalf("event timeline timed out after %d of 2 events", len(recs))
+	}
 
-	// Both halves must demonstrably mine past the fork point before the
-	// partition heals; two blocks per side guarantees at least two blocks
-	// end up stale whichever side wins.
+	// Healing does not proactively re-gossip: the minority adopts the
+	// winning branch when the next mined block arrives with an unknown
+	// parent and triggers catch-up sync. Poll until all nodes agree on a
+	// block buried past the heal-time tip (mining keeps the very tip
+	// racing).
 	forkBase := uint64(0)
 	for i := 0; i < c.Size(); i++ {
 		if h := c.Chain(i).Height(); h > forkBase {
 			forkBase = h
 		}
 	}
-	waitHeights(t, c, []int{0, 2}, forkBase+2)
-	c.Heal()
-
-	// Healing does not proactively re-gossip: the minority adopts the
-	// winning branch when the next mined block arrives with an unknown
-	// parent and triggers catch-up sync. Poll until all nodes agree on a
-	// buried block (mining keeps the very tip racing).
 	deadline := time.Now().Add(60 * time.Second)
 	for {
 		minH := c.Chain(0).Height()

@@ -1,0 +1,204 @@
+// Package schedule executes declarative fault/attack timelines against a
+// running cluster: the §3.3 injections (crash, recover, partition, heal,
+// message delay) expressed as data instead of hand-rolled
+// sleep-and-inject goroutines. A timeline is a sequence of events, each
+// gated on a time offset and/or an observed-state trigger (chain height,
+// chain growth); the runner fires them in order and stamps a record per
+// firing, which the driver forwards into the run's snapshot stream and
+// final report.
+//
+// Triggers exist because wall-clock offsets are not deterministic on
+// simulated proof-of-work: mining speed varies with the host, so "heal
+// after 2 s" can fire before a slow half has mined anything. Keying the
+// same phases off observed chain growth is what made the fork-injection
+// tests deterministic, and the trigger hooks preserve that property in
+// declarative form.
+package schedule
+
+import (
+	"fmt"
+	"time"
+)
+
+// Cluster is the injection surface a timeline runs against. Both the
+// public blockbench.Cluster and the internal platform.Cluster implement
+// it.
+type Cluster interface {
+	// Size returns the number of server nodes.
+	Size() int
+	// Crash stops message delivery to and from node i.
+	Crash(i int)
+	// Recover restores a crashed node.
+	Recover(i int)
+	// PartitionHalves splits the network into [0,k) and [k,N).
+	PartitionHalves(k int)
+	// Heal removes any partition.
+	Heal()
+	// SetDelay injects extra message delay at the given nodes.
+	SetDelay(d time.Duration, nodes ...int)
+	// NodeHeight returns node i's confirmed chain height.
+	NodeHeight(i int) uint64
+}
+
+// Action is one named injection step.
+type Action struct {
+	// Name labels the action in snapshot streams and reports.
+	Name string
+	// Do applies the action to the cluster.
+	Do func(Cluster)
+}
+
+// Trigger gates an event on observed cluster state. It is called once
+// when the event becomes armed (its At offset elapsed and every earlier
+// event fired), letting it capture a baseline; the returned predicate is
+// then polled until true.
+type Trigger func(Cluster) (ready func() bool)
+
+// Event is one entry of a timeline: the action fires once the offset At
+// has elapsed since the timeline started, every earlier event has fired,
+// and the optional When trigger reports ready.
+type Event struct {
+	At   time.Duration
+	When Trigger
+	Act  Action
+}
+
+// Record stamps one fired event with the actual offset at which it
+// executed.
+type Record struct {
+	Name string
+	At   time.Duration
+}
+
+// Crash returns the crash-node action.
+func Crash(i int) Action {
+	return Action{Name: fmt.Sprintf("crash(%d)", i), Do: func(c Cluster) { c.Crash(i) }}
+}
+
+// Recover returns the recover-node action.
+func Recover(i int) Action {
+	return Action{Name: fmt.Sprintf("recover(%d)", i), Do: func(c Cluster) { c.Recover(i) }}
+}
+
+// Partition returns the split-in-[0,k)/[k,N) action.
+func Partition(k int) Action {
+	return Action{Name: fmt.Sprintf("partition(%d)", k), Do: func(c Cluster) { c.PartitionHalves(k) }}
+}
+
+// Heal returns the remove-partition action.
+func Heal() Action {
+	return Action{Name: "heal", Do: func(c Cluster) { c.Heal() }}
+}
+
+// SetDelay returns the inject-message-delay action.
+func SetDelay(d time.Duration, nodes ...int) Action {
+	return Action{
+		Name: fmt.Sprintf("setdelay(%v,%v)", d, nodes),
+		Do:   func(c Cluster) { c.SetDelay(d, nodes...) },
+	}
+}
+
+// nodesOrAll expands an empty node list to every node.
+func nodesOrAll(c Cluster, nodes []int) []int {
+	if len(nodes) > 0 {
+		return nodes
+	}
+	all := make([]int, c.Size())
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// HeightAtLeast fires once every listed node (all nodes when none are
+// listed) has reached the absolute chain height target.
+func HeightAtLeast(target uint64, nodes ...int) Trigger {
+	return func(c Cluster) func() bool {
+		ns := nodesOrAll(c, nodes)
+		return func() bool {
+			for _, i := range ns {
+				if c.NodeHeight(i) < target {
+					return false
+				}
+			}
+			return true
+		}
+	}
+}
+
+// GrowthAtLeast fires once every listed node (all nodes when none are
+// listed) has grown delta blocks past the highest height observed
+// anywhere in the cluster at arm time — "both halves mined two blocks
+// past the fork point", independent of mining speed.
+func GrowthAtLeast(delta uint64, nodes ...int) Trigger {
+	return func(c Cluster) func() bool {
+		var base uint64
+		for i := 0; i < c.Size(); i++ {
+			if h := c.NodeHeight(i); h > base {
+				base = h
+			}
+		}
+		target := base + delta
+		ns := nodesOrAll(c, nodes)
+		return func() bool {
+			for _, i := range ns {
+				if c.NodeHeight(i) < target {
+					return false
+				}
+			}
+			return true
+		}
+	}
+}
+
+// Run executes the timeline in order against c, treating start as the
+// timeline's origin for At offsets. Trigger predicates are polled every
+// poll (default 5ms). A close of stop aborts the remaining events (nil
+// means run to completion). Each firing is reported through onFire (if
+// non-nil) and collected into the returned records.
+func Run(c Cluster, start time.Time, events []Event, poll time.Duration,
+	stop <-chan struct{}, onFire func(Record)) []Record {
+
+	if poll <= 0 {
+		poll = 5 * time.Millisecond
+	}
+	var recs []Record
+	for _, ev := range events {
+		if d := time.Until(start.Add(ev.At)); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-stop:
+				t.Stop()
+				return recs
+			case <-t.C:
+			}
+		} else {
+			select {
+			case <-stop:
+				return recs
+			default:
+			}
+		}
+		if ev.When != nil {
+			ready := ev.When(c)
+			for !ready() {
+				t := time.NewTimer(poll)
+				select {
+				case <-stop:
+					t.Stop()
+					return recs
+				case <-t.C:
+				}
+			}
+		}
+		if ev.Act.Do != nil {
+			ev.Act.Do(c)
+		}
+		rec := Record{Name: ev.Act.Name, At: time.Since(start)}
+		recs = append(recs, rec)
+		if onFire != nil {
+			onFire(rec)
+		}
+	}
+	return recs
+}

@@ -1,0 +1,131 @@
+package schedule
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeCluster records injections and serves scripted heights.
+type fakeCluster struct {
+	mu      sync.Mutex
+	size    int
+	heights []uint64
+	log     []string
+}
+
+func newFake(size int) *fakeCluster {
+	return &fakeCluster{size: size, heights: make([]uint64, size)}
+}
+
+func (f *fakeCluster) record(s string) {
+	f.mu.Lock()
+	f.log = append(f.log, s)
+	f.mu.Unlock()
+}
+
+func (f *fakeCluster) Size() int            { return f.size }
+func (f *fakeCluster) Crash(i int)          { f.record("crash") }
+func (f *fakeCluster) Recover(i int)        { f.record("recover") }
+func (f *fakeCluster) PartitionHalves(int)  { f.record("partition") }
+func (f *fakeCluster) Heal()                { f.record("heal") }
+func (f *fakeCluster) SetDelay(d time.Duration, nodes ...int) { f.record("setdelay") }
+
+func (f *fakeCluster) NodeHeight(i int) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.heights[i]
+}
+
+func (f *fakeCluster) setHeight(i int, h uint64) {
+	f.mu.Lock()
+	f.heights[i] = h
+	f.mu.Unlock()
+}
+
+func TestRunFiresInOrderWithOffsets(t *testing.T) {
+	c := newFake(4)
+	start := time.Now()
+	recs := Run(c, start, []Event{
+		{At: 0, Act: Crash(3)},
+		{At: 30 * time.Millisecond, Act: Heal()},
+	}, time.Millisecond, nil, nil)
+	if len(recs) != 2 {
+		t.Fatalf("fired %d events, want 2", len(recs))
+	}
+	if recs[0].Name != "crash(3)" || recs[1].Name != "heal" {
+		t.Fatalf("wrong order: %v", recs)
+	}
+	if recs[1].At < 30*time.Millisecond {
+		t.Fatalf("second event fired early at %v", recs[1].At)
+	}
+}
+
+func TestHeightTriggerGates(t *testing.T) {
+	c := newFake(2)
+	fired := make(chan Record, 2)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		c.setHeight(0, 5)
+		c.setHeight(1, 5)
+	}()
+	recs := Run(c, time.Now(), []Event{
+		{When: HeightAtLeast(5), Act: Partition(1)},
+	}, time.Millisecond, nil, func(r Record) { fired <- r })
+	if len(recs) != 1 {
+		t.Fatalf("fired %d events, want 1", len(recs))
+	}
+	if c.NodeHeight(0) < 5 {
+		t.Fatal("trigger fired before the height was reached")
+	}
+	select {
+	case r := <-fired:
+		if r.Name != "partition(1)" {
+			t.Fatalf("onFire saw %q", r.Name)
+		}
+	default:
+		t.Fatal("onFire not called")
+	}
+}
+
+func TestGrowthTriggerUsesArmTimeBaseline(t *testing.T) {
+	c := newFake(2)
+	c.setHeight(0, 10) // baseline max is 10 at arm time
+	c.setHeight(1, 8)
+	done := make(chan []Record, 1)
+	go func() {
+		done <- Run(c, time.Now(), []Event{
+			{When: GrowthAtLeast(2, 0), Act: Heal()},
+		}, time.Millisecond, nil, nil)
+	}()
+	time.Sleep(15 * time.Millisecond)
+	c.setHeight(0, 11) // 10+2 not reached yet
+	time.Sleep(15 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("growth trigger fired below baseline+delta")
+	default:
+	}
+	c.setHeight(0, 12)
+	recs := <-done
+	if len(recs) != 1 {
+		t.Fatalf("fired %d events, want 1", len(recs))
+	}
+}
+
+func TestStopAbortsRemainingEvents(t *testing.T) {
+	c := newFake(2)
+	stop := make(chan struct{})
+	close(stop)
+	recs := Run(c, time.Now(), []Event{
+		{At: time.Hour, Act: Crash(0)},
+	}, time.Millisecond, stop, nil)
+	if len(recs) != 0 {
+		t.Fatalf("fired %d events after stop, want 0", len(recs))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.log) != 0 {
+		t.Fatalf("actions ran after stop: %v", c.log)
+	}
+}

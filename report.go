@@ -1,121 +1,24 @@
 package blockbench
 
-import (
-	"fmt"
-	"strings"
-	"time"
+import "blockbench/report"
 
-	"blockbench/internal/consensus/pow"
-	"blockbench/internal/consensus/raft"
-	"blockbench/internal/exec"
+// The run outputs live in the report subpackage; these aliases keep the
+// framework's surface importable from the root package alone. Resource
+// counters reach the Report through the generic CounterProvider seam
+// (internal/metrics) aggregated by the platform cluster — there is no
+// per-engine case anywhere in the reporting path, so a backend
+// registered through platform.Register surfaces its counters without
+// touching this package.
+type (
+	// Report carries the metrics of one driver run.
+	Report = report.Report
+	// Snapshot is one per-bucket frame of a live run's metric stream.
+	Snapshot = report.Snapshot
+	// Sink consumes a run's snapshot stream and final report (JSONL and
+	// CSV implementations ship in the report package).
+	Sink = report.Sink
 )
 
-// Report carries the metrics of one driver run: the paper's throughput,
-// latency, scalability inputs (vary Nodes/Clients across runs), fault-
-// tolerance series and security (fork) numbers, plus resource counters
-// for the utilization figures.
-type Report struct {
-	Platform string
-	Workload string
-	Nodes    int
-	Clients  int
-	Duration time.Duration
-
-	Submitted    uint64
-	SubmitErrors uint64
-	Committed    uint64
-	// Throughput is committed transactions per second ("number of
-	// successful transactions per second").
-	Throughput float64
-
-	// Latency statistics in seconds ("response time per transaction").
-	LatencyMean float64
-	LatencyP50  float64
-	LatencyP90  float64
-	LatencyP99  float64
-	// CDF points for the latency-distribution figure.
-	LatencyCDFValues    []float64
-	LatencyCDFFractions []float64
-
-	// Per-bucket series: average outstanding queue length and committed
-	// transactions per bucket.
-	QueueSeries  []float64
-	CommitSeries []float64
-	Bucket       time.Duration
-
-	// Blocks committed during the run at node 0.
-	Blocks uint64
-	// ForkTotal/ForkMain: blocks generated on any branch vs the main
-	// chain (security metric; equal when there are no forks).
-	ForkTotal uint64
-	ForkMain  uint64
-
-	// Network counters over the run.
-	BytesSent   uint64
-	MsgsSent    uint64
-	MsgsDropped uint64
-
-	// Resource proxies: PoW hash attempts (CPU-bound mining) and time
-	// spent inside contract execution.
-	PowHashes uint64
-	ExecTime  time.Duration
-
-	// Elections counts leader elections started across the cluster
-	// during the run (Raft-ordered platforms; 0 elsewhere). A stable
-	// cluster elects once and then only heartbeats.
-	Elections uint64
-}
-
-// BlockRate returns blocks per second over the run.
-func (r *Report) BlockRate() float64 {
-	if r.Duration <= 0 {
-		return 0
-	}
-	return float64(r.Blocks) / r.Duration.Seconds()
-}
-
-// NetworkMBps returns average network utilization in MB/s.
-func (r *Report) NetworkMBps() float64 {
-	if r.Duration <= 0 {
-		return 0
-	}
-	return float64(r.BytesSent) / r.Duration.Seconds() / 1e6
-}
-
-// String renders a compact single-run summary.
-func (r *Report) String() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s/%s nodes=%d clients=%d: %.0f tx/s, latency mean=%.3fs p99=%.3fs",
-		r.Platform, r.Workload, r.Nodes, r.Clients, r.Throughput, r.LatencyMean, r.LatencyP99)
-	fmt.Fprintf(&b, ", blocks=%d (%.2f/s)", r.Blocks, r.BlockRate())
-	if r.ForkTotal > r.ForkMain {
-		fmt.Fprintf(&b, ", forks=%d stale", r.ForkTotal-r.ForkMain)
-	}
-	return b.String()
-}
-
-// resources aggregates the cluster-wide CPU/activity proxies.
-type resources struct {
-	powHashes uint64
-	execTime  time.Duration
-	elections uint64
-}
-
-func resourceSnapshot(c *Cluster) resources {
-	var out resources
-	for i := 0; i < c.Size(); i++ {
-		switch e := c.inner.Node(i).Consensus().(type) {
-		case *pow.Engine:
-			out.powHashes += e.Hashes()
-		case *raft.Engine:
-			out.elections += e.Elections()
-		}
-		switch e := c.inner.Engine(i).(type) {
-		case *exec.EVMEngine:
-			out.execTime += e.ExecTime()
-		case *exec.NativeEngine:
-			out.execTime += e.ExecTime()
-		}
-	}
-	return out
-}
+// OpenSink creates a file sink for path, chosen by extension: ".csv"
+// gets the CSV sink, anything else JSONL.
+func OpenSink(path string) (Sink, error) { return report.Open(path) }

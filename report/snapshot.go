@@ -1,0 +1,39 @@
+package report
+
+import "time"
+
+// Snapshot is one per-bucket frame of a live run's metric stream, emitted
+// on the run handle's Snapshots channel. Counters whose meaning is
+// cumulative (Submitted, Committed, SubmitErrors, Counters) cover the run
+// so far; CommittedInBucket and Events cover only this bucket. Latency
+// statistics are over every sample observed so far.
+type Snapshot struct {
+	// Seq is the bucket index, starting at 0.
+	Seq int `json:"seq"`
+	// Elapsed is the offset of this frame from the run's start.
+	Elapsed time.Duration `json:"elapsed_ns"`
+
+	Submitted    uint64 `json:"submitted"`
+	Committed    uint64 `json:"committed"`
+	SubmitErrors uint64 `json:"submit_errors"`
+	// CommittedInBucket is the commit count since the previous frame.
+	CommittedInBucket uint64 `json:"committed_in_bucket"`
+
+	// QueueDepth is the current total of generated-but-unconfirmed
+	// operations across all clients: generator backlog + submit channel +
+	// in-flight + outstanding (the paper's Fig 6/18 queue metric).
+	QueueDepth int `json:"queue_depth"`
+
+	// Latency quantiles so far, in seconds.
+	LatencyMean float64 `json:"latency_mean_s"`
+	LatencyP50  float64 `json:"latency_p50_s"`
+	LatencyP99  float64 `json:"latency_p99_s"`
+
+	// Counters is the delta of every platform counter since the run
+	// started (same keys as Report.Counters).
+	Counters map[string]uint64 `json:"counters,omitempty"`
+
+	// Events names the scheduled fault/attack events that fired since the
+	// previous frame, in firing order.
+	Events []string `json:"events,omitempty"`
+}
