@@ -26,11 +26,13 @@ race:
 # per line, with the benchmark metric lines ("BenchmarkX ... ns/op") in
 # the output events. -benchtime=1x keeps this a smoke pass. Alongside
 # the root figure benchmarks (which include the driver submission
-# pipeline and the run handle's snapshot-stream overhead) it runs the
-# txpool contention benchmarks, so the sharded pool's before/after
-# trajectory against the single-mutex baseline accumulates across PRs.
+# pipeline, the run handle's snapshot-stream overhead and the sharded
+# platform's shard-scaling sweep at S=1/2/4/8) it runs the txpool
+# contention benchmarks and the trie-commit allocation benchmarks
+# (internal/mpt), so the pool's, the shard sweep's and the trie
+# allocation pass's trajectories all accumulate across PRs.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x -timeout 60m -json . ./internal/txpool > BENCH_ci.json
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem -timeout 120m -json . ./internal/txpool ./internal/mpt > BENCH_ci.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_ci.json | sed 's/"Output":"//;s/\\n$$//' || true
 
 clean:

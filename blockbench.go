@@ -1,9 +1,12 @@
 // Package blockbench is a Go implementation of BLOCKBENCH (Dinh et al.,
 // SIGMOD 2017), the evaluation framework for private blockchains, together
 // with simulated implementations of the three platforms the paper studies —
-// Ethereum (PoW), Parity (PoA) and Hyperledger Fabric v0.6 (PBFT) — plus a
-// fourth, Quorum (Raft-ordered crash-fault-tolerant consensus), built on
-// the framework's pluggable platform registry (platform.Register).
+// Ethereum (PoW), Parity (PoA) and Hyperledger Fabric v0.6 (PBFT) — plus
+// two extensions built on the framework's pluggable platform registry
+// (platform.Register): Quorum (Raft-ordered crash-fault-tolerant
+// consensus) and Sharded (hash-partitioned state with one consensus group
+// per shard and cross-shard two-phase commit — the database scaling
+// technique the paper's conclusion calls for).
 //
 // The package mirrors the paper's Fig 4 software stack:
 //
@@ -56,16 +59,18 @@ type (
 )
 
 // The built-in platforms: the paper's three systems plus the
-// Raft-ordered Quorum extension. New backends plug in through
-// platform.Register and appear in Platforms automatically.
+// Raft-ordered Quorum extension and the partitioned Sharded backend.
+// New backends plug in through platform.Register and appear in
+// Platforms automatically.
 const (
 	Ethereum    = platform.Ethereum
 	Parity      = platform.Parity
 	Hyperledger = platform.Hyperledger
 	Quorum      = platform.Quorum
+	Sharded     = platform.Sharded
 )
 
-// Platforms lists all registered backends in registration order.
+// Platforms lists all registered backends in sorted order.
 func Platforms() []Platform { return platform.Kinds() }
 
 // PlatformByName resolves a registered platform by its CLI name,

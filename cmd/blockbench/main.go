@@ -54,8 +54,22 @@ func (m *multiFlag) Set(v string) error {
 	return nil
 }
 
+// parsePlatformOpts turns repeated -popt key=val strings into the
+// generic platform option map each preset's Fill hook interprets.
+func parsePlatformOpts(kvs []string) (map[string]string, error) {
+	opts := make(map[string]string, len(kvs))
+	for _, kv := range kvs {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok || k == "" {
+			return nil, fmt.Errorf("platform option %q is not key=val", kv)
+		}
+		opts[k] = v
+	}
+	return opts, nil
+}
+
 func main() {
-	var wopts multiFlag
+	var wopts, popts multiFlag
 	var (
 		platformName = flag.String("platform", "hyperledger", platformNames())
 		workloadName = flag.String("workload", "ycsb", strings.Join(blockbench.Workloads(), " | "))
@@ -73,6 +87,7 @@ func main() {
 		listW        = flag.Bool("workloads", false, "list registered workloads and exit")
 	)
 	flag.Var(&wopts, "wopt", "workload option key=val (repeatable)")
+	flag.Var(&popts, "popt", "platform option key=val (repeatable, e.g. shards=4 on sharded)")
 	flag.Parse()
 
 	if *listP {
@@ -117,10 +132,15 @@ func main() {
 		fatal(err)
 	}
 
+	platformOpts, err := parsePlatformOpts(popts)
+	if err != nil {
+		fatal(err)
+	}
 	c, err := blockbench.NewCluster(blockbench.ClusterConfig{
 		Kind:      kind,
 		Nodes:     *nodes,
 		Contracts: w.Contracts(),
+		Options:   platformOpts,
 	}, *clients)
 	if err != nil {
 		fatal(err)
@@ -195,6 +215,11 @@ func main() {
 		report.Blocks, report.BlockRate(), report.ForkTotal, report.ForkMain)
 	if report.Elections() > 0 {
 		fmt.Printf("  consensus: %d leader elections\n", report.Elections())
+	}
+	if ratio := report.CrossShardRatio(); ratio > 0 {
+		fmt.Printf("  cross-shard: %.1f%% of routed txs (commits=%d aborts=%d retries=%d)\n",
+			100*ratio, report.Counter("xshard.commits"),
+			report.Counter("xshard.aborts"), report.Counter("xshard.retries"))
 	}
 	fmt.Printf("  network: %.2f MB/s, %d msgs (%d dropped)\n",
 		report.NetworkMBps(), report.MsgsSent, report.MsgsDropped)

@@ -82,12 +82,13 @@ func Get(id string) (Runner, bool) {
 	return fn, ok
 }
 
-// platforms under study: the paper's three in presentation order, plus
-// the Raft-ordered Quorum extension as the comparison's fourth column.
-var platforms = []blockbench.Platform{
-	blockbench.Ethereum, blockbench.Parity, blockbench.Hyperledger,
-	blockbench.Quorum,
-}
+// platforms under study: every backend on the platform registry, in its
+// sorted order — the paper's three plus the Quorum and Sharded
+// extensions today, and anything a framework user registers tomorrow
+// (a new backend becomes an experiments column with zero edits here).
+// Read at experiment-run time, not captured at init, so registrations
+// from packages initialized after this one still appear.
+func platforms() []blockbench.Platform { return blockbench.Platforms() }
 
 // sizedWorkload builds a registered workload with its record/account
 // volume set — the registry lookup behind every experiment table, so a

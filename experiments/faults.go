@@ -21,7 +21,7 @@ func init() {
 func Fig9CrashFault(s Scale) (*Result, error) {
 	res := &Result{ID: "fig9", Title: "committed tx over time, 4 servers killed mid-run"}
 	sizes := scaleSweep(s, []int{12, 16}, []int{8})
-	for _, kind := range platforms {
+	for _, kind := range platforms() {
 		for _, n := range sizes {
 			w := macroWorkload("ycsb", s)
 			// Kill 4 nodes at the halfway point (the paper's 250th
@@ -51,7 +51,7 @@ func Fig9CrashFault(s Scale) (*Result, error) {
 // recover after the partition heals.
 func Fig10PartitionAttack(s Scale) (*Result, error) {
 	res := &Result{ID: "fig10", Title: "partition attack: total vs main-chain blocks"}
-	for _, kind := range platforms {
+	for _, kind := range platforms() {
 		w := macroWorkload("ycsb", s)
 		c, err := newCluster(kind, 8, 8, w, nil)
 		if err != nil {
@@ -107,7 +107,7 @@ func Fig16Utilization(s Scale) (*Result, error) {
 	// budget (the simulated miners are single-threaded; geth saturated
 	// its reserved cores the same way, just with more of them).
 	const nsPerHash = 280.0
-	for _, kind := range platforms {
+	for _, kind := range platforms() {
 		w := macroWorkload("ycsb", s)
 		r, err := measure(kind, 8, 8, w, blockbench.RunConfig{
 			Threads: 4, Rate: 128, Duration: s.Duration,

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"blockbench/internal/consensus"
+	"blockbench/internal/merkle"
 	"blockbench/internal/simnet"
 	"blockbench/internal/types"
 )
@@ -491,6 +492,11 @@ func (e *Engine) applyLocked() {
 				ParentHash: head.Hash(),
 				Time:       int64(head.Number() + 1),
 				View:       en.Term,
+				// TxRoot makes the block content-addressed: without it
+				// two chains (the sharded platform runs one per group)
+				// could build same-height blocks with identical hashes
+				// over different transactions.
+				TxRoot: merkle.TxRoot(en.Txs),
 			},
 			Txs: en.Txs,
 		}

@@ -67,6 +67,18 @@ type Trie struct {
 	// nodesWritten counts persisted node writes, exposing the trie's
 	// write amplification to the IOHeavy experiment.
 	nodesWritten uint64
+
+	// Reusable scratch for the hot paths (the trie is already
+	// single-writer, see the type comment): encBuf holds one node's
+	// encoding during Commit/Hash — children are hashed before the
+	// parent's bytes are laid down, so one buffer serves every level —
+	// keyBuf the store key of the node being persisted, and nibBuf the
+	// nibble expansion of transient lookup keys (Get/Delete; Put paths
+	// are retained inside inserted nodes and must stay freshly
+	// allocated).
+	encBuf []byte
+	keyBuf []byte
+	nibBuf []byte
 }
 
 // New opens a trie over store rooted at root. A zero root yields an empty
@@ -90,7 +102,20 @@ func NewWithCache(store kvstore.Store, root types.Hash, cache NodeCache) (*Trie,
 
 // keyNibbles expands key bytes into nibbles (hi, lo per byte).
 func keyNibbles(key []byte) []byte {
-	out := make([]byte, len(key)*2)
+	return expandNibbles(make([]byte, len(key)*2), key)
+}
+
+// scratchNibbles expands into the trie's reusable nibble buffer — only
+// for paths that never retain the slice (Get, Delete).
+func (t *Trie) scratchNibbles(key []byte) []byte {
+	n := len(key) * 2
+	if cap(t.nibBuf) < n {
+		t.nibBuf = make([]byte, n)
+	}
+	return expandNibbles(t.nibBuf[:n], key)
+}
+
+func expandNibbles(out, key []byte) []byte {
 	for i, b := range key {
 		out[i*2] = b >> 4
 		out[i*2+1] = b & 0x0f
@@ -108,7 +133,7 @@ func commonPrefix(a, b []byte) int {
 
 // Get returns the value stored at key, or nil if absent.
 func (t *Trie) Get(key []byte) ([]byte, error) {
-	v, newRoot, err := t.get(t.root, keyNibbles(key))
+	v, newRoot, err := t.get(t.root, t.scratchNibbles(key))
 	if err != nil {
 		return nil, err
 	}
@@ -254,7 +279,7 @@ func (b *branchNode) attach(path []byte, value []byte) error {
 
 // Delete removes key from the trie; deleting an absent key is a no-op.
 func (t *Trie) Delete(key []byte) error {
-	newRoot, _, err := t.remove(t.root, keyNibbles(key))
+	newRoot, _, err := t.remove(t.root, t.scratchNibbles(key))
 	if err != nil {
 		return err
 	}
@@ -366,64 +391,94 @@ func concat(a, b []byte) []byte {
 	return append(out, b...)
 }
 
-// encode serializes a node with child references replaced by hashes.
-// persist controls whether resolved children are recursively hashed and
-// (when t.store != nil and write is true) written out.
-func (t *Trie) encode(n node, write bool) ([]byte, types.Hash, error) {
-	e := types.NewEncoder()
+// encode serializes a node with child references replaced by hashes and
+// returns its content hash; write additionally persists it (and,
+// recursively, its resolved children). Children are hashed before any
+// of the parent's bytes are laid down, so the single reusable encBuf
+// serves every recursion level in turn — the Commit hot path allocates
+// no per-node encoder or buffer (the shared node cache still takes a
+// copy, since it retains what it is given).
+func (t *Trie) encode(n node, write bool) (types.Hash, error) {
+	var children [16]types.Hash
+	var childCount int
 	switch n := n.(type) {
 	case *leafNode:
-		e.Uint32(2)
-		e.Bytes(n.path)
-		e.Bytes(n.value)
 	case *extNode:
 		ch, err := t.hashChild(n.child, write)
 		if err != nil {
-			return nil, types.ZeroHash, err
+			return types.ZeroHash, err
 		}
-		e.Uint32(1)
-		e.Bytes(n.path)
-		e.Raw(ch[:])
+		children[0], childCount = ch, 1
 	case *branchNode:
-		e.Uint32(0)
-		for _, c := range n.children {
+		for i, c := range n.children {
 			if c == nil {
-				e.Raw(types.ZeroHash[:])
 				continue
 			}
 			ch, err := t.hashChild(c, write)
 			if err != nil {
-				return nil, types.ZeroHash, err
+				return types.ZeroHash, err
 			}
-			e.Raw(ch[:])
+			children[i] = ch
 		}
-		e.Bool(n.value != nil)
-		if n.value != nil {
-			e.Bytes(n.value)
-		}
+		childCount = 16
 	default:
-		return nil, types.ZeroHash, fmt.Errorf("mpt: cannot encode %T", n)
+		return types.ZeroHash, fmt.Errorf("mpt: cannot encode %T", n)
 	}
-	enc := e.Out()
-	h := types.HashData(enc)
+
+	// Flat encoding into the reused buffer (layout unchanged: it is the
+	// hashing preimage, so existing roots stay valid).
+	buf := t.encBuf[:0]
+	switch n := n.(type) {
+	case *leafNode:
+		buf = appendUint32(buf, 2)
+		buf = appendBytes(buf, n.path)
+		buf = appendBytes(buf, n.value)
+	case *extNode:
+		buf = appendUint32(buf, 1)
+		buf = appendBytes(buf, n.path)
+		buf = append(buf, children[0][:]...)
+	case *branchNode:
+		buf = appendUint32(buf, 0)
+		for i := 0; i < childCount; i++ {
+			buf = append(buf, children[i][:]...)
+		}
+		if n.value != nil {
+			buf = append(buf, 1)
+			buf = appendBytes(buf, n.value)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	t.encBuf = buf
+
+	h := types.HashData(buf)
 	if write && t.store != nil {
-		if err := t.store.Put(nodeKey(h), enc); err != nil {
-			return nil, types.ZeroHash, err
+		if err := t.store.Put(t.nodeKey(h), buf); err != nil {
+			return types.ZeroHash, err
 		}
 		t.nodesWritten++
 		if t.cache != nil {
-			t.cache.Put(string(h[:]), enc)
+			t.cache.Put(string(h[:]), append([]byte(nil), buf...))
 		}
 	}
-	return enc, h, nil
+	return h, nil
+}
+
+// appendUint32 and appendBytes mirror types.Encoder's length-prefixed
+// little-endian layout without an encoder allocation.
+func appendUint32(buf []byte, v uint32) []byte {
+	return append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendBytes(buf, b []byte) []byte {
+	return append(appendUint32(buf, uint32(len(b))), b...)
 }
 
 func (t *Trie) hashChild(n node, write bool) (types.Hash, error) {
 	if hn, ok := n.(hashNode); ok {
 		return types.Hash(hn), nil
 	}
-	_, h, err := t.encode(n, write)
-	return h, err
+	return t.encode(n, write)
 }
 
 // Hash computes the root hash without persisting anything.
@@ -434,8 +489,7 @@ func (t *Trie) Hash() (types.Hash, error) {
 	if hn, ok := t.root.(hashNode); ok {
 		return types.Hash(hn), nil
 	}
-	_, h, err := t.encode(t.root, false)
-	return h, err
+	return t.encode(t.root, false)
 }
 
 // Commit persists all nodes reachable from the root and returns the root
@@ -450,18 +504,23 @@ func (t *Trie) Commit() (types.Hash, error) {
 	if hn, ok := t.root.(hashNode); ok {
 		return types.Hash(hn), nil
 	}
-	_, h, err := t.encode(t.root, true)
-	return h, err
+	return t.encode(t.root, true)
 }
 
 // NodesWritten reports how many trie nodes have been persisted, a direct
 // measure of write amplification.
 func (t *Trie) NodesWritten() uint64 { return t.nodesWritten }
 
-func nodeKey(h types.Hash) []byte {
-	k := make([]byte, 0, 2+types.HashSize)
-	k = append(k, 't', ':')
-	return append(k, h[:]...)
+// nodeKey builds the store key for a node hash in the trie's reusable
+// key scratch (both storage engines copy their key argument).
+func (t *Trie) nodeKey(h types.Hash) []byte {
+	if cap(t.keyBuf) < 2+types.HashSize {
+		t.keyBuf = make([]byte, 0, 2+types.HashSize)
+	}
+	k := append(t.keyBuf[:0], 't', ':')
+	k = append(k, h[:]...)
+	t.keyBuf = k
+	return k
 }
 
 func (t *Trie) resolve(hn hashNode) (node, error) {
@@ -474,7 +533,7 @@ func (t *Trie) resolve(hn hashNode) (node, error) {
 			return decodeNode(enc)
 		}
 	}
-	enc, ok, err := t.store.Get(nodeKey(h))
+	enc, ok, err := t.store.Get(t.nodeKey(h))
 	if err != nil {
 		return nil, err
 	}

@@ -61,6 +61,25 @@ type Config struct {
 	Registry      *crypto.Registry
 }
 
+// Router intercepts the client-facing transaction path. A consensus
+// engine that also implements Router (the sharded platform's engine)
+// takes over ingress: SendTransaction hands submissions to SubmitTx
+// instead of the local pool, and commits that happen on chains other
+// than this node's — a routed transaction executing on a foreign shard
+// — are surfaced back to this node's pollers through DrainRemoteCommits
+// (folded into BlocksFrom) and CommittedElsewhere (folded into Receipt).
+type Router interface {
+	// SubmitTx routes one client transaction; an error means "busy,
+	// retry" exactly like ErrBusy on the ingestion queue.
+	SubmitTx(tx *types.Transaction) error
+	// DrainRemoteCommits returns transaction IDs committed on foreign
+	// chains since the last call (each ID is delivered once).
+	DrainRemoteCommits() []types.Hash
+	// CommittedElsewhere reports whether id is known committed on a
+	// foreign chain.
+	CommittedElsewhere(id types.Hash) bool
+}
+
 // ErrStopped is returned by RPCs on a stopped node.
 var ErrStopped = errors.New("node: stopped")
 
@@ -69,9 +88,10 @@ var ErrBusy = errors.New("node: ingestion queue full")
 
 // Node is a running blockchain server.
 type Node struct {
-	cfg  Config
-	ep   *simnet.Endpoint
-	cons consensus.Engine
+	cfg    Config
+	ep     *simnet.Endpoint
+	cons   consensus.Engine
+	router Router // non-nil when the consensus engine routes ingress
 
 	ingest  chan *types.Transaction
 	stop    chan struct{}
@@ -100,6 +120,9 @@ func New(cfg Config) *Node {
 		Peers:    cfg.Peers,
 	}
 	n.cons = cfg.NewConsensus(ctx)
+	if r, ok := n.cons.(Router); ok {
+		n.router = r
+	}
 	if cfg.ServerSigns {
 		q := cfg.IngestQueue
 		if q <= 0 {
@@ -232,6 +255,12 @@ func (n *Node) SendTransaction(tx *types.Transaction) (types.Hash, error) {
 	// so the id the client polls for stays stable while ingestLoop signs
 	// the same object concurrently.
 	id := tx.Hash()
+	if n.router != nil {
+		if err := n.router.SubmitTx(tx); err != nil {
+			return types.ZeroHash, err
+		}
+		return id, nil
+	}
 	if n.ingest != nil {
 		select {
 		case n.ingest <- tx:
@@ -257,21 +286,27 @@ func (n *Node) BlocksFrom(h uint64) ([]BlockInfo, error) {
 	if err := n.rpc(); err != nil {
 		return nil, err
 	}
-	height := n.cfg.Chain.Height()
-	if height < n.cfg.ConfirmationDepth {
-		return nil, nil
-	}
-	confirmed := height - n.cfg.ConfirmationDepth
 	var out []BlockInfo
-	for _, b := range n.cfg.Chain.BlocksFrom(h, 0) {
-		if b.Number() > confirmed {
-			break
+	height := n.cfg.Chain.Height()
+	if height >= n.cfg.ConfirmationDepth {
+		confirmed := height - n.cfg.ConfirmationDepth
+		for _, b := range n.cfg.Chain.BlocksFrom(h, 0) {
+			if b.Number() > confirmed {
+				break
+			}
+			info := BlockInfo{Number: b.Number(), Hash: b.Hash()}
+			for _, tx := range b.Txs {
+				info.TxIDs = append(info.TxIDs, tx.Hash())
+			}
+			out = append(out, info)
 		}
-		info := BlockInfo{Number: b.Number(), Hash: b.Hash()}
-		for _, tx := range b.Txs {
-			info.TxIDs = append(info.TxIDs, tx.Hash())
+	}
+	if n.router != nil {
+		// Commits routed to foreign chains ride along as one synthetic
+		// frame; Number 0 keeps the caller's height cursor untouched.
+		if ids := n.router.DrainRemoteCommits(); len(ids) > 0 {
+			out = append(out, BlockInfo{TxIDs: ids})
 		}
-		out = append(out, info)
 	}
 	return out, nil
 }
@@ -333,6 +368,11 @@ func (n *Node) Receipt(txHash types.Hash) (*types.Receipt, bool, error) {
 		return nil, false, err
 	}
 	r, ok := n.cfg.Chain.Receipt(txHash)
+	if !ok && n.router != nil && n.router.CommittedElsewhere(txHash) {
+		// Routed to a foreign chain and confirmed committed there; the
+		// synthetic receipt carries no execution output.
+		return &types.Receipt{TxHash: txHash, OK: true}, true, nil
+	}
 	return r, ok, nil
 }
 

@@ -6,14 +6,16 @@
 // consensus factory, and the driver, experiments and CLI pick new
 // platforms up automatically.
 //
-// Four presets ship with the framework: the three systems the paper
+// Five presets ship with the framework: the three systems the paper
 // evaluates — Ethereum (geth v1.4.18: PoW, Patricia-Merkle trie over
 // LevelDB with an LRU state cache, EVM), Parity (v1.6.0:
 // Proof-of-Authority, all state pinned in memory, EVM, server-side
 // transaction signing) and Hyperledger Fabric (v0.6.0-preview: PBFT,
-// Bucket-Merkle tree over RocksDB, native chaincode) — plus Quorum
-// (geth fork: Raft-ordered crash-fault-tolerant consensus, trie state,
-// EVM), the extension seam's first user.
+// Bucket-Merkle tree over RocksDB, native chaincode) — plus two
+// extension backends on the registry seam: Quorum (geth fork:
+// Raft-ordered crash-fault-tolerant consensus, trie state, EVM) and
+// Sharded (hash-partitioned state, one Raft group per shard,
+// cross-shard two-phase commit).
 package platform
 
 import (
@@ -35,12 +37,13 @@ import (
 type Kind string
 
 func init() {
-	// Registration order is the paper's presentation order, with the
-	// Raft-ordered extension platform last.
+	// The paper's three platforms, then the extension backends. Kinds()
+	// lists them sorted, so registration order is not load-bearing.
 	MustRegister(ethereumPreset())
 	MustRegister(parityPreset())
 	MustRegister(hyperledgerPreset())
 	MustRegister(quorumPreset())
+	MustRegister(shardedPreset())
 }
 
 // Config sizes and tunes a cluster. Zero values take preset defaults.
@@ -77,9 +80,20 @@ type Config struct {
 	BatchTimeout time.Duration // partial-batch timer (default 10ms)
 	ViewTimeout  time.Duration // view-change timer (default 400ms)
 
-	// Quorum (Raft) knobs.
+	// Quorum (Raft) knobs, shared by the sharded preset's per-shard
+	// groups.
 	ElectionTimeout   time.Duration // follower election timeout floor (default 300ms)
 	HeartbeatInterval time.Duration // leader append/heartbeat cadence (default 20ms)
+
+	// Sharded knobs.
+	Shards int // shard groups (default min(4, Nodes), clamped to Nodes)
+
+	// Options carries generic -popt key=val parameters for the selected
+	// preset's Fill hook — the platform-side mirror of workload -wopt,
+	// so a registered backend can expose tuning (the sharded preset's
+	// shards=N) with zero CLI edits. Keys outside the preset's
+	// OptionKeys are rejected by New.
+	Options map[string]string
 
 	// Shared knobs.
 	MaxTxsPerBlock    int
@@ -127,6 +141,9 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if err := p.checkOptions(cfg.Options); err != nil {
 		return nil, err
 	}
 	if p.Fill != nil {
@@ -357,18 +374,34 @@ func (c *Cluster) Counters() map[string]uint64 {
 	return out
 }
 
+// chainPartitioned is implemented by consensus engines that keep one
+// canonical chain per shard group (the sharded platform) rather than
+// one for the whole cluster.
+type chainPartitioned interface{ Shard() int }
+
 // ForkStats reports the security metric of §3.3: the number of blocks
 // generated on any branch (unioned across nodes) versus the length of
-// the agreed main chain.
+// the agreed canonical structure. On single-chain platforms that is the
+// longest chain; on a partitioned platform each shard group contributes
+// its own canonical chain, so the lengths sum — disjoint shard chains
+// are not forks of each other.
 func (c *Cluster) ForkStats() (total, mainChain uint64) {
 	seen := make(map[types.Hash]struct{})
-	for _, ch := range c.chains {
+	longest := make(map[int]uint64)
+	for i, ch := range c.chains {
 		for _, h := range ch.KnownHashes() {
 			seen[h] = struct{}{}
 		}
-		if ht := ch.Height(); ht > mainChain {
-			mainChain = ht
+		shard := 0
+		if p, ok := c.nodes[i].Consensus().(chainPartitioned); ok {
+			shard = p.Shard()
 		}
+		if ht := ch.Height(); ht > longest[shard] {
+			longest[shard] = ht
+		}
+	}
+	for _, ht := range longest {
+		mainChain += ht
 	}
 	return uint64(len(seen)), mainChain
 }

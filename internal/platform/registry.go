@@ -67,6 +67,12 @@ type Preset struct {
 	// PoA). Agreement-based platforms (PBFT, Raft) never fork.
 	SupportsForks bool
 
+	// OptionKeys names the generic Config.Options (-popt key=val) keys
+	// this preset's Fill hook consumes; New rejects options outside the
+	// list, so a misspelled -popt fails loudly instead of silently
+	// running the default configuration.
+	OptionKeys []string
+
 	// Fill applies the preset's default tuning to zero Config fields.
 	Fill func(cfg *Config)
 	// MemModel returns the simulated execution-memory cost model (zero
@@ -93,9 +99,6 @@ type Preset struct {
 var (
 	regMu   sync.RWMutex
 	presets = make(map[Kind]*Preset)
-	// regOrder preserves registration order for Kinds (presentation
-	// order: the paper's three platforms first, then extensions).
-	regOrder []Kind
 )
 
 // Register plugs a platform preset into the framework. It errors on a
@@ -113,7 +116,6 @@ func Register(p *Preset) error {
 		return fmt.Errorf("platform: Register(%q): already registered", p.Kind)
 	}
 	presets[p.Kind] = p
-	regOrder = append(regOrder, p.Kind)
 	return nil
 }
 
@@ -140,11 +142,18 @@ func Lookup(kind Kind) (*Preset, error) {
 	return p, nil
 }
 
-// Kinds lists registered presets in registration order.
+// Kinds lists registered presets in sorted (name) order — deterministic
+// regardless of init order, so CLI listings, experiment columns and
+// registry tests never depend on registration sequencing.
 func Kinds() []Kind {
 	regMu.RLock()
 	defer regMu.RUnlock()
-	return append([]Kind(nil), regOrder...)
+	out := make([]Kind, 0, len(presets))
+	for k := range presets {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // Describe returns the one-line summary of a registered kind ("" if
@@ -156,6 +165,32 @@ func Describe(kind Kind) string {
 		return p.Describe
 	}
 	return ""
+}
+
+// checkOptions rejects generic platform options the preset does not
+// consume (a misspelled or misdirected -popt).
+func (p *Preset) checkOptions(opts map[string]string) error {
+	var unknown []string
+	for k := range opts {
+		known := false
+		for _, ok := range p.OptionKeys {
+			if k == ok {
+				known = true
+				break
+			}
+		}
+		if !known {
+			unknown = append(unknown, k)
+		}
+	}
+	if len(unknown) == 0 {
+		return nil
+	}
+	sort.Strings(unknown)
+	if len(p.OptionKeys) == 0 {
+		return fmt.Errorf("platform: %s takes no -popt options (got %v)", p.Kind, unknown)
+	}
+	return fmt.Errorf("platform: %s: unknown option(s) %v (known: %v)", p.Kind, unknown, p.OptionKeys)
 }
 
 // defaultOpenStore is the shared storage policy: in-memory maps, or the

@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"sort"
 	"strings"
 	"testing"
 
@@ -65,12 +66,31 @@ func TestKindsIncludeAllBuiltins(t *testing.T) {
 	for _, k := range Kinds() {
 		have[k] = true
 	}
-	for _, k := range []Kind{Ethereum, Parity, Hyperledger, Quorum} {
+	for _, k := range []Kind{Ethereum, Parity, Hyperledger, Quorum, Sharded} {
 		if !have[k] {
 			t.Fatalf("builtin %q missing from Kinds(): %v", k, Kinds())
 		}
 		if Describe(k) == "" {
 			t.Fatalf("builtin %q has no description", k)
+		}
+	}
+}
+
+// TestKindsSortedAndStable: the listing is sorted, so help text, smoke
+// jobs and experiment columns are deterministic regardless of init
+// (registration) order.
+func TestKindsSortedAndStable(t *testing.T) {
+	kinds := Kinds()
+	if !sort.SliceIsSorted(kinds, func(i, j int) bool { return kinds[i] < kinds[j] }) {
+		t.Fatalf("Kinds() not sorted: %v", kinds)
+	}
+	again := Kinds()
+	if len(again) != len(kinds) {
+		t.Fatalf("Kinds() unstable: %v vs %v", kinds, again)
+	}
+	for i := range kinds {
+		if kinds[i] != again[i] {
+			t.Fatalf("Kinds() unstable at %d: %v vs %v", i, kinds, again)
 		}
 	}
 }
@@ -100,6 +120,7 @@ func TestPresetHooksDriveNodeAssembly(t *testing.T) {
 		{Parity, true, false},
 		{Hyperledger, false, true},
 		{Quorum, false, false},
+		{Sharded, false, false},
 	} {
 		c, err := New(fastConfig(tc.kind, 2, keys))
 		if err != nil {

@@ -1,0 +1,90 @@
+package sharding
+
+import (
+	"blockbench/internal/simnet"
+	"blockbench/internal/types"
+)
+
+// Message type tags on the simulated network. All sharding traffic is
+// point-to-point: forwards and decisions go to the members of the
+// shards involved, votes and commit notices back to the coordinating
+// gateway — nothing is flooded cluster-wide.
+const (
+	MsgForward = "shard_fwd"     // *ForwardBatch: single-shard txs to their group
+	MsgPrepare = "shard_prepare" // *Prepare: 2PC phase one
+	MsgVote    = "shard_vote"    // *Vote: participant's lock verdict
+	MsgDecide  = "shard_decide"  // *Decision: 2PC phase two (commit or abort)
+	MsgNotice  = "shard_notice"  // *CommitNotice: applied-tx ack to the gateway
+)
+
+// ForwardBatch carries single-shard transactions from a gateway node to
+// the members of the owning shard group (the fast path: no 2PC, the
+// group's own consensus is the only ordering these transactions see).
+type ForwardBatch struct {
+	Origin simnet.NodeID // gateway that accepted the client submissions
+	Shard  int
+	Txs    []*types.Transaction
+}
+
+// WireSize implements simnet.Sizer.
+func (m *ForwardBatch) WireSize() int {
+	n := 16
+	for _, tx := range m.Txs {
+		n += tx.WireSize()
+	}
+	return n
+}
+
+// Prepare opens 2PC for a cross-shard transaction: every member of each
+// touched shard receives it; the shard's current consensus leader
+// answers with a Vote after trying to lock the transaction's local keys.
+type Prepare struct {
+	Origin  simnet.NodeID // coordinating gateway (votes go back here)
+	Attempt int
+	Tx      *types.Transaction
+}
+
+// WireSize implements simnet.Sizer.
+func (m *Prepare) WireSize() int { return 16 + m.Tx.WireSize() }
+
+// Vote is one shard's phase-one verdict.
+type Vote struct {
+	TxID    types.Hash
+	Shard   int
+	Attempt int
+	OK      bool
+}
+
+// WireSize implements simnet.Sizer.
+func (*Vote) WireSize() int { return types.HashSize + 17 }
+
+// Decision closes 2PC: on commit the transaction enters every touched
+// shard's pool and is ordered by that shard's consensus like any other;
+// on abort the participants only release their locks. Tx is nil on
+// abort.
+type Decision struct {
+	TxID   types.Hash
+	Commit bool
+	Origin simnet.NodeID
+	Tx     *types.Transaction
+}
+
+// WireSize implements simnet.Sizer.
+func (m *Decision) WireSize() int {
+	n := types.HashSize + 17
+	if m.Tx != nil {
+		n += m.Tx.WireSize()
+	}
+	return n
+}
+
+// CommitNotice tells the gateway that a shard applied a transaction the
+// gateway routed away from its own group, so the gateway can surface
+// the commit to its polling client.
+type CommitNotice struct {
+	TxID  types.Hash
+	Shard int
+}
+
+// WireSize implements simnet.Sizer.
+func (*CommitNotice) WireSize() int { return types.HashSize + 16 }

@@ -1,0 +1,125 @@
+package sharding
+
+import (
+	"testing"
+
+	"blockbench/internal/simnet"
+	"blockbench/internal/types"
+)
+
+func TestHashPartitionerRangeAndDeterminism(t *testing.T) {
+	p := NewHashPartitioner(4)
+	if p.Shards() != 4 {
+		t.Fatalf("Shards = %d", p.Shards())
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		k := []byte{byte(i), byte(i >> 8)}
+		s := p.Shard(k)
+		if s < 0 || s >= 4 {
+			t.Fatalf("shard %d out of range", s)
+		}
+		if s != p.Shard(k) {
+			t.Fatal("non-deterministic placement")
+		}
+		seen[s] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("only %d of 4 shards used", len(seen))
+	}
+}
+
+func TestRangePartitioner(t *testing.T) {
+	p := NewRangePartitioner([]byte("m"), []byte("t"))
+	if p.Shards() != 3 {
+		t.Fatalf("Shards = %d", p.Shards())
+	}
+	for _, tc := range []struct {
+		key  string
+		want int
+	}{
+		{"", 0}, {"a", 0}, {"lzz", 0}, {"m", 1}, {"pig", 1}, {"szz", 1}, {"t", 2}, {"zebra", 2},
+	} {
+		if got := p.Shard([]byte(tc.key)); got != tc.want {
+			t.Fatalf("Shard(%q) = %d, want %d", tc.key, got, tc.want)
+		}
+	}
+}
+
+func TestGroupsContiguousAndBalanced(t *testing.T) {
+	peers := []simnet.NodeID{3, 0, 4, 1, 2} // unsorted on purpose
+	groups := Groups(peers, 2)
+	if len(groups) != 2 || len(groups[0]) != 3 || len(groups[1]) != 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if groups[0][0] != 0 || groups[1][0] != 3 {
+		t.Fatalf("groups not contiguous over sorted peers: %v", groups)
+	}
+	for i, id := range peers {
+		_ = i
+		if GroupOf(groups, id) < 0 {
+			t.Fatalf("node %v in no group", id)
+		}
+	}
+	// More shards than nodes clamps to one group per node.
+	if g := Groups(peers[:2], 8); len(g) != 2 {
+		t.Fatalf("clamp failed: %d groups for 2 nodes", len(g))
+	}
+}
+
+func TestTouchedShards(t *testing.T) {
+	p := NewHashPartitioner(8)
+	// Single-key contract call: exactly one shard.
+	tx := &types.Transaction{Contract: "ycsb", Method: "write",
+		Args: [][]byte{[]byte("user1"), []byte("v")}}
+	if got := TouchedShards(p, tx); len(got) != 1 || got[0] != p.Shard([]byte("user1")) {
+		t.Fatalf("ycsb touched %v", got)
+	}
+	// Two-account smallbank call: both owners, deduplicated and sorted.
+	a, b := []byte("acct-a"), []byte("acct-b")
+	tx = &types.Transaction{Contract: "smallbank", Method: "sendPayment",
+		Args: [][]byte{a, b, types.U64Bytes(1)}}
+	got := TouchedShards(p, tx)
+	want := map[int]bool{p.Shard(a): true, p.Shard(b): true}
+	if len(got) != len(want) {
+		t.Fatalf("sendPayment touched %v, want shards of %v", got, want)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("touched shards not sorted: %v", got)
+		}
+	}
+	// Same account twice collapses to one shard.
+	tx.Args = [][]byte{a, a, types.U64Bytes(1)}
+	if got := TouchedShards(p, tx); len(got) != 1 {
+		t.Fatalf("self-payment touched %v", got)
+	}
+	// Keyless transactions get a stable home shard from their hash.
+	tx = &types.Transaction{Contract: "donothing", Method: "noop"}
+	h1 := TouchedShards(p, tx)
+	h2 := TouchedShards(p, tx)
+	if len(h1) != 1 || h1[0] != h2[0] {
+		t.Fatalf("home shard unstable: %v vs %v", h1, h2)
+	}
+}
+
+func TestContractKeysRegistry(t *testing.T) {
+	if ks := ContractKeys("ycsb", "read", [][]byte{[]byte("k")}); len(ks) != 1 {
+		t.Fatalf("ycsb read keys = %v", ks)
+	}
+	if ks := ContractKeys("smallbank", "amalgamate", [][]byte{[]byte("a"), []byte("b")}); len(ks) != 2 {
+		t.Fatalf("amalgamate keys = %v", ks)
+	}
+	if ks := ContractKeys("smallbank", "writeCheck", [][]byte{[]byte("a"), []byte("x")}); len(ks) != 1 {
+		t.Fatalf("writeCheck keys = %v", ks)
+	}
+	if ks := ContractKeys("no-such-contract", "m", nil); ks != nil {
+		t.Fatalf("unknown contract keys = %v", ks)
+	}
+	RegisterContractKeys("sharding-test-cc", func(method string, args [][]byte) [][]byte {
+		return args
+	})
+	if ks := ContractKeys("sharding-test-cc", "m", [][]byte{[]byte("x"), []byte("y")}); len(ks) != 2 {
+		t.Fatalf("registered extractor ignored: %v", ks)
+	}
+}

@@ -144,6 +144,25 @@ func (p *Pool) Batch(maxTxs int, gasLimit uint64) []*types.Transaction {
 	return out
 }
 
+// BatchAffinity returns one Batch worth of pending transactions (same
+// FIFO and gas semantics as Batch) regrouped by affinity class: all
+// transactions of one class travel together, in arrival order within
+// the class. classOf must return a value in [0, classes). The sharded
+// platform's gateways use this to turn a flush interval's worth of
+// accepted transactions into one forward batch per destination shard
+// instead of a message per transaction. Transactions stay pending until
+// MarkIncluded, exactly as with Batch.
+func (p *Pool) BatchAffinity(maxTxs int, gasLimit uint64, classes int,
+	classOf func(*types.Transaction) int) [][]*types.Transaction {
+
+	out := make([][]*types.Transaction, classes)
+	for _, tx := range p.Batch(maxTxs, gasLimit) {
+		c := classOf(tx)
+		out[c] = append(out[c], tx)
+	}
+	return out
+}
+
 // snapshot copies up to max live entries from the shard's FIFO head
 // (all of them when max <= 0), advancing head past any tombstoned
 // prefix on the way.

@@ -245,3 +245,49 @@ func TestFIFOOrder(t *testing.T) {
 		}
 	}
 }
+
+func TestBatchAffinityGroupsAndKeepsFIFO(t *testing.T) {
+	p := New(0)
+	var all []*types.Transaction
+	for i := uint64(0); i < 30; i++ {
+		x := tx(i, 1)
+		p.Add(x)
+		all = append(all, x)
+	}
+	classOf := func(x *types.Transaction) int { return int(x.Nonce % 3) }
+	groups := p.BatchAffinity(0, 0, 3, classOf)
+	if len(groups) != 3 {
+		t.Fatalf("got %d classes", len(groups))
+	}
+	total := 0
+	for c, txs := range groups {
+		var prev uint64
+		for i, x := range txs {
+			if classOf(x) != c {
+				t.Fatalf("class %d holds tx of class %d", c, classOf(x))
+			}
+			if i > 0 && x.Nonce < prev {
+				t.Fatalf("class %d out of FIFO order: %d after %d", c, x.Nonce, prev)
+			}
+			prev = x.Nonce
+			total++
+		}
+		if len(txs) != 10 {
+			t.Fatalf("class %d has %d txs", c, len(txs))
+		}
+	}
+	if total != 30 {
+		t.Fatalf("affinity batch covered %d of 30", total)
+	}
+	// Like Batch, transactions stay pending until MarkIncluded drains
+	// them; the next affinity batch is then empty.
+	if p.Len() != 30 {
+		t.Fatalf("len after batch = %d", p.Len())
+	}
+	p.MarkIncluded(all)
+	for _, txs := range p.BatchAffinity(0, 0, 3, classOf) {
+		if len(txs) != 0 {
+			t.Fatalf("drained pool still batches %d txs", len(txs))
+		}
+	}
+}

@@ -35,9 +35,8 @@ type Spec struct {
 }
 
 var (
-	regMu    sync.RWMutex
-	specs    = make(map[string]Spec)
-	regOrder []string
+	regMu sync.RWMutex
+	specs = make(map[string]Spec)
 )
 
 // Register plugs a workload spec into the framework. It errors on a
@@ -55,7 +54,6 @@ func Register(s Spec) error {
 		return fmt.Errorf("workload: Register(%q): already registered", s.Name)
 	}
 	specs[s.Name] = s
-	regOrder = append(regOrder, s.Name)
 	return nil
 }
 
@@ -95,11 +93,18 @@ func New(name string, opts Options) (any, error) {
 	return w, nil
 }
 
-// Names lists registered workloads in registration order.
+// Names lists registered workloads in sorted order — deterministic
+// regardless of which file's init ran first, so CLI listings and
+// registry tests never depend on registration sequencing.
 func Names() []string {
 	regMu.RLock()
 	defer regMu.RUnlock()
-	return append([]string(nil), regOrder...)
+	out := make([]string, 0, len(specs))
+	for name := range specs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Describe returns the one-line summary of a registered workload ("" if

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"sort"
 	"strings"
 	"testing"
 )
@@ -106,5 +107,15 @@ func TestDecoderErrors(t *testing.T) {
 	d.Int("records", 0)
 	if err := d.Finish(); err == nil || !strings.Contains(err.Error(), "recrods") {
 		t.Fatalf("unknown option not flagged: %v", err)
+	}
+}
+
+// TestNamesSorted: the listing is sorted, so -workloads help text and
+// registry tests are deterministic regardless of which file's init
+// block registered first.
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Names() not sorted: %v", names)
 	}
 }

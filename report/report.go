@@ -26,6 +26,22 @@ const (
 	CounterExecTimeNs = "exec.time_ns"
 	// CounterElections is the number of Raft leader elections started.
 	CounterElections = "raft.elections"
+	// CounterXShardFastpath counts single-shard transactions routed on
+	// the sharded platform's fast path (2PC bypassed entirely).
+	CounterXShardFastpath = "xshard.fastpath"
+	// CounterXShardTxs counts cross-shard transactions coordinated
+	// through two-phase commit.
+	CounterXShardTxs = "xshard.txs"
+	// CounterXShardCommits counts cross-shard transactions that
+	// committed; with CounterXShardAborts it accounts for every
+	// resolved cross-shard transaction exactly once.
+	CounterXShardCommits = "xshard.commits"
+	// CounterXShardAborts counts cross-shard transactions abandoned
+	// after exhausting their abort-retry budget.
+	CounterXShardAborts = "xshard.aborts"
+	// CounterXShardRetries counts abort-retry rounds (a transaction that
+	// aborts twice and then commits adds two).
+	CounterXShardRetries = "xshard.retries"
 )
 
 // EventRecord stamps one fired schedule event: its name and the actual
@@ -113,6 +129,18 @@ func (r *Report) ExecTime() time.Duration {
 // once and then only heartbeats.
 func (r *Report) Elections() uint64 { return r.Counters[CounterElections] }
 
+// CrossShardRatio reports the fraction of routed transactions that
+// touched more than one shard (0 on unsharded platforms, which expose
+// neither counter).
+func (r *Report) CrossShardRatio() float64 {
+	x := r.Counters[CounterXShardTxs]
+	total := x + r.Counters[CounterXShardFastpath]
+	if total == 0 {
+		return 0
+	}
+	return float64(x) / float64(total)
+}
+
 // BlockRate returns blocks per second over the run.
 func (r *Report) BlockRate() float64 {
 	if r.Duration <= 0 {
@@ -146,6 +174,11 @@ func (r *Report) String() string {
 	}
 	if r.ForkTotal > r.ForkMain {
 		fmt.Fprintf(&b, ", forks=%d stale", r.ForkTotal-r.ForkMain)
+	}
+	if x := r.Counters[CounterXShardTxs]; x > 0 {
+		fmt.Fprintf(&b, ", xshard=%.0f%% (commits=%d aborts=%d retries=%d)",
+			100*r.CrossShardRatio(), r.Counters[CounterXShardCommits],
+			r.Counters[CounterXShardAborts], r.Counters[CounterXShardRetries])
 	}
 	if r.Aborted {
 		b.WriteString(", aborted")

@@ -72,6 +72,11 @@ func (w *SmallbankWorkload) Init(c *Cluster, rng *rand.Rand) error {
 	return c.preloadOps(ops, 400)
 }
 
+// KeyOf implements KeyedWorkload: the account argument(s) — two for
+// sendPayment/amalgamate, one otherwise — which is what makes Smallbank
+// the cross-shard workload of the shard-scaling comparison.
+func (w *SmallbankWorkload) KeyOf(op Op) [][]byte { return OpKeys(op) }
+
 // Next implements Workload: the standard Smallbank mix.
 func (w *SmallbankWorkload) Next(clientID int, rng *rand.Rand) Op {
 	w.lazyFill()

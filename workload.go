@@ -3,8 +3,31 @@ package blockbench
 import (
 	"fmt"
 
+	"blockbench/internal/sharding"
 	"blockbench/internal/workload"
 )
+
+// KeyedWorkload is an optional Workload extension: KeyOf names the
+// state keys one operation addresses, without executing it. The sharded
+// platform's tooling uses the hint to reason about key placement — the
+// partitioner skew check draws operations and buckets their keys by
+// shard, and the shard-scaling benchmark reports each workload's
+// cross-shard touch rate alongside its throughput. Built-in contract
+// workloads delegate to the same per-contract extractors the sharded
+// router itself uses (sharding.ContractKeys), so the hint and the
+// actual routing always agree.
+type KeyedWorkload interface {
+	// KeyOf returns the state keys op addresses (nil when unknown).
+	KeyOf(op Op) [][]byte
+}
+
+// OpKeys extracts the state keys an operation addresses through the
+// per-contract extractor registry shared with the sharded router
+// (sharding.RegisterContractKeys). It is the canonical KeyOf
+// implementation for contract-backed workloads.
+func OpKeys(op Op) [][]byte {
+	return sharding.ContractKeys(op.Contract, op.Method, op.Args)
+}
 
 // Workload-registry bridge: the application-layer mirror of the
 // platform registry. Every shipped workload registers itself in its own
@@ -57,7 +80,7 @@ func MustWorkload(name string, opts WorkloadOptions) Workload {
 	return w
 }
 
-// Workloads lists registered workload names in registration order.
+// Workloads lists registered workload names in sorted order.
 func Workloads() []string { return workload.Names() }
 
 // WorkloadDescribe returns the one-line summary of a registered

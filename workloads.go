@@ -85,8 +85,11 @@ func (c *Cluster) preloadLive(txs []*types.Transaction) error {
 			}
 		}
 	}
-	srv := c.nodeAt(0)
-	for _, tx := range txs {
+	for i, tx := range txs {
+		// Poll the node the transaction was submitted through: on the
+		// sharded platform only the gateway can vouch for commits that
+		// landed on foreign shard chains.
+		srv := c.nodeAt(i % c.Size())
 		for {
 			if _, ok, _ := srv.Receipt(tx.Hash()); ok {
 				break

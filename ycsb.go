@@ -94,6 +94,10 @@ func (w *YCSBWorkload) Init(c *Cluster, rng *rand.Rand) error {
 	return c.preloadOps(ops, 200)
 }
 
+// KeyOf implements KeyedWorkload: every YCSB operation addresses the
+// single record key in its first argument.
+func (w *YCSBWorkload) KeyOf(op Op) [][]byte { return OpKeys(op) }
+
 // Next implements Workload.
 func (w *YCSBWorkload) Next(clientID int, rng *rand.Rand) Op {
 	w.lazyFill()
