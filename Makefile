@@ -28,11 +28,12 @@ race:
 # the root figure benchmarks (which include the driver submission
 # pipeline, the run handle's snapshot-stream overhead and the sharded
 # platform's shard-scaling sweep at S=1/2/4/8) it runs the txpool
-# contention benchmarks and the trie-commit allocation benchmarks
-# (internal/mpt), so the pool's, the shard sweep's and the trie
-# allocation pass's trajectories all accumulate across PRs.
+# contention benchmarks, the trie-commit allocation benchmarks
+# (internal/mpt) and the raft engine benchmarks (commit latency with
+# the event pipeline on/off, long-run log residency with compaction
+# on/off), so all those trajectories accumulate across PRs.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem -timeout 120m -json . ./internal/txpool ./internal/mpt > BENCH_ci.json
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem -timeout 120m -json . ./internal/txpool ./internal/mpt ./internal/consensus/raft > BENCH_ci.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_ci.json | sed 's/"Output":"//;s/\\n$$//' || true
 
 clean:

@@ -1,0 +1,121 @@
+package raft
+
+import (
+	"testing"
+	"time"
+
+	"blockbench/internal/types"
+)
+
+// BenchmarkRaftCommitLatency measures single-transaction commit latency
+// (pool admission → receipt on the leader) on a 3-replica group, under
+// the tick-driven baseline versus the event-driven pipeline. The
+// baseline's latency floor is the heartbeat tick that used to pace
+// proposals and appends; the pipelined engine proposes and replicates
+// on the pool notification, so its latency is bounded by message round
+// trips. Reported as ms/commit.
+func BenchmarkRaftCommitLatency(b *testing.B) {
+	for _, mode := range []struct {
+		name     string
+		tickOnly bool
+	}{
+		{"tick-floor", true},
+		{"pipelined", false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			opts := DefaultOptions()
+			opts.ElectionTimeout = 150 * time.Millisecond
+			opts.Heartbeat = 20 * time.Millisecond
+			opts.BatchSize = 1 // every submission is a full batch
+			opts.BatchTimeout = time.Millisecond
+			opts.TickOnly = mode.tickOnly
+			c := newTestCluster(b, 3, opts)
+			l := c.waitLeader(b, nil)
+
+			waitReceipt := func(id types.Hash) {
+				deadline := time.Now().Add(10 * time.Second)
+				for {
+					if _, ok := c.nodes[l].chain.Receipt(id); ok {
+						return
+					}
+					if time.Now().After(deadline) {
+						b.Fatal("commit timed out")
+					}
+					time.Sleep(50 * time.Microsecond)
+				}
+			}
+			// Warm up one commit so the leader's pipeline state settles.
+			waitReceipt(c.submit(1_000_000, nil).Hash())
+
+			var total time.Duration
+			const perIter = 10 // moderate load: sequential singles
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < perIter; j++ {
+					tx := c.submit(i*perIter+j, nil)
+					start := time.Now()
+					waitReceipt(tx.Hash())
+					total += time.Since(start)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(total.Milliseconds())/float64(b.N*perIter), "ms/commit")
+		})
+	}
+}
+
+// BenchmarkRaftLongRunMemory measures the resident log length over a
+// long committed run with compaction off versus a small retention
+// window: with retention the log must stay bounded by the window (plus
+// the in-flight proposal window) no matter how long the run, which is
+// what keeps long macro runs from re-encoding an ever-growing slice.
+func BenchmarkRaftLongRunMemory(b *testing.B) {
+	const entries = 600
+	for _, mode := range []struct {
+		name   string
+		retain int
+	}{
+		{"retain-off", 0},
+		{"retain-64", 64},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var maxLog float64
+			for i := 0; i < b.N; i++ {
+				opts := DefaultOptions()
+				opts.ElectionTimeout = 150 * time.Millisecond
+				opts.Heartbeat = 10 * time.Millisecond
+				opts.BatchSize = 1
+				opts.BatchTimeout = time.Millisecond
+				if mode.retain > 0 {
+					opts.Retain = mode.retain
+				} else {
+					opts.Retain = -1 // normalized to 0: compaction off
+				}
+				c := newTestCluster(b, 3, opts)
+				l := c.waitLeader(b, nil)
+				var last *types.Transaction
+				for j := 0; j < entries; j++ {
+					last = c.submit(i*entries+j, nil)
+					if lg := c.nodes[l].e.LogLen(); float64(lg) > maxLog {
+						maxLog = float64(lg)
+					}
+					if j%50 == 49 { // pace: let commits drain the window
+						c.waitCommitted(b, []*types.Transaction{last}, nil)
+					}
+				}
+				c.waitCommitted(b, []*types.Transaction{last}, nil)
+				if lg := c.nodes[l].e.LogLen(); float64(lg) > maxLog {
+					maxLog = float64(lg)
+				}
+				if mode.retain > 0 && maxLog > float64(mode.retain+opts.Window) {
+					b.Fatalf("resident log %v exceeded retention window %d (+%d in flight)",
+						maxLog, mode.retain, opts.Window)
+				}
+				for _, tn := range c.nodes {
+					tn.e.Stop()
+				}
+			}
+			b.ReportMetric(maxLog, "log-entries-max")
+		})
+	}
+}

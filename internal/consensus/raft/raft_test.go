@@ -1,6 +1,7 @@
 package raft
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -34,11 +35,12 @@ type testNode struct {
 type testCluster struct {
 	net   *simnet.Network
 	nodes []*testNode
+	pumps sync.WaitGroup
 }
 
 // newTestCluster boots n replicas over a fresh simnet, each with its own
 // chain, pool and a pump goroutine standing in for the node inbox loop.
-func newTestCluster(t *testing.T, n int, opts Options) *testCluster {
+func newTestCluster(t testing.TB, n int, opts Options) *testCluster {
 	t.Helper()
 	net := simnet.New(simnet.Config{
 		BaseLatency: 50 * time.Microsecond,
@@ -87,7 +89,9 @@ func newTestCluster(t *testing.T, n int, opts Options) *testCluster {
 			Pool:     pool,
 			Peers:    peers,
 		}, opts)
+		c.pumps.Add(1)
 		go func(tn *testNode) {
+			defer c.pumps.Done()
 			for {
 				select {
 				case <-tn.stop:
@@ -104,6 +108,9 @@ func newTestCluster(t *testing.T, n int, opts Options) *testCluster {
 			tn.e.Stop()
 			close(tn.stop)
 		}
+		// A pump may still be inside Handle (which sends); the network
+		// must outlive every pump.
+		c.pumps.Wait()
 		net.Close()
 	})
 	for _, tn := range c.nodes {
@@ -129,7 +136,7 @@ func (c *testCluster) leader(skip map[int]bool) int {
 	return found
 }
 
-func (c *testCluster) waitLeader(t *testing.T, skip map[int]bool) int {
+func (c *testCluster) waitLeader(t testing.TB, skip map[int]bool) int {
 	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) {
@@ -159,7 +166,7 @@ func (c *testCluster) submit(i int, skip map[int]bool) *types.Transaction {
 	return tx
 }
 
-func (c *testCluster) waitCommitted(t *testing.T, txs []*types.Transaction, skip map[int]bool) {
+func (c *testCluster) waitCommitted(t testing.TB, txs []*types.Transaction, skip map[int]bool) {
 	t.Helper()
 	deadline := time.Now().Add(15 * time.Second)
 	for time.Now().Before(deadline) {
@@ -205,11 +212,14 @@ func TestWireSizes(t *testing.T) {
 		t.Fatal("request-vote size wrong")
 	}
 	ae := &AppendEntries{Entries: []Entry{{Txs: []*types.Transaction{{Method: "m"}}}}}
-	if ae.WireSize() <= 40 {
+	if ae.WireSize() <= 48 {
 		t.Fatal("append-entries size ignores entries")
 	}
-	if (&AppendEntries{}).WireSize() != 40 {
+	if (&AppendEntries{}).WireSize() != 48 {
 		t.Fatal("heartbeat size wrong")
+	}
+	if (&AppendResp{}).WireSize() != 32 {
+		t.Fatal("append-resp size wrong")
 	}
 }
 
@@ -357,5 +367,198 @@ func TestElectionsMetricCounts(t *testing.T) {
 	}
 	if started == 0 {
 		t.Fatal("leader exists but no election was counted")
+	}
+}
+
+// TestCompactionBoundsResidentLog drives enough committed entries past
+// a tiny retention window that every replica compacts, and checks the
+// resident log stays bounded while the chains remain identical.
+func TestCompactionBoundsResidentLog(t *testing.T) {
+	opts := fastOptions()
+	opts.BatchSize = 2
+	opts.BatchTimeout = time.Millisecond
+	opts.Retain = 8
+	c := newTestCluster(t, 3, opts)
+	c.waitLeader(t, nil)
+	var txs []*types.Transaction
+	for i := 0; i < 60; i++ {
+		txs = append(txs, c.submit(i, nil))
+		if i%10 == 9 { // let entries accumulate in several proposals
+			c.waitCommitted(t, txs, nil)
+		}
+	}
+	c.waitCommitted(t, txs, nil)
+	for i, tn := range c.nodes {
+		if tn.e.Compactions() == 0 {
+			t.Errorf("node %d never compacted (log len %d)", i, tn.e.LogLen())
+		}
+		// Resident log = retained applied prefix (≤ Retain) plus any
+		// not-yet-applied tail (bounded by the proposal window).
+		if got := tn.e.LogLen(); got > opts.Retain+opts.Window {
+			t.Errorf("node %d resident log %d exceeds retain+window %d", i, got, opts.Retain+opts.Window)
+		}
+	}
+	h0 := c.nodes[0].chain.Height()
+	for i, tn := range c.nodes {
+		if tn.chain.Height() < h0 {
+			continue
+		}
+		for h := uint64(1); h <= h0; h++ {
+			a, _ := c.nodes[0].chain.GetBlock(h)
+			b, ok := tn.chain.GetBlock(h)
+			if !ok || a.Hash() != b.Hash() {
+				t.Fatalf("node %d diverged at height %d after compaction", i, h)
+			}
+		}
+	}
+}
+
+// TestSnapshotInstallRejoin partitions one follower, commits far past
+// the retention window so the leader compacts beyond the follower's
+// log, then heals: the follower must rejoin via InstallSnapshot plus
+// the chain sync and converge to byte-identical blocks.
+func TestSnapshotInstallRejoin(t *testing.T) {
+	opts := fastOptions()
+	opts.BatchSize = 2
+	opts.BatchTimeout = time.Millisecond
+	opts.Retain = 4
+	c := newTestCluster(t, 3, opts)
+	c.waitLeader(t, nil)
+
+	// A little committed traffic everywhere first.
+	var txs []*types.Transaction
+	for i := 0; i < 6; i++ {
+		txs = append(txs, c.submit(i, nil))
+	}
+	c.waitCommitted(t, txs, nil)
+
+	// Partition a follower and commit well past the retention window.
+	lagger := -1
+	for i, tn := range c.nodes {
+		if !tn.e.IsLeader() {
+			lagger = i
+			break
+		}
+	}
+	c.net.Partition([]simnet.NodeID{simnet.NodeID(lagger)})
+	skip := map[int]bool{lagger: true}
+	txs = nil
+	for i := 100; i < 160; i++ {
+		txs = append(txs, c.submit(i, skip))
+		if i%10 == 9 {
+			c.waitCommitted(t, txs, skip)
+		}
+	}
+	c.waitCommitted(t, txs, skip)
+	var compacted bool
+	for i, tn := range c.nodes {
+		if !skip[i] && tn.e.SnapIndex() > 0 {
+			compacted = true
+		}
+	}
+	if !compacted {
+		t.Fatal("majority never compacted; snapshot path not exercised")
+	}
+
+	c.net.Heal()
+	c.waitCommitted(t, txs, nil)
+	if got := c.nodes[lagger].e.SnapshotsInstalled(); got == 0 {
+		t.Fatal("lagger rejoined without installing a snapshot")
+	}
+	// Byte-identical convergence, block by block.
+	deadline := time.Now().Add(10 * time.Second)
+	for c.nodes[lagger].chain.Height() < c.nodes[0].chain.Height() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	h0 := c.nodes[0].chain.Height()
+	for h := uint64(1); h <= h0; h++ {
+		a, _ := c.nodes[0].chain.GetBlock(h)
+		b, ok := c.nodes[lagger].chain.GetBlock(h)
+		if !ok {
+			t.Fatalf("lagger missing block %d after rejoin", h)
+		}
+		if a.Hash() != b.Hash() {
+			t.Fatalf("lagger block %d differs after snapshot rejoin", h)
+		}
+	}
+}
+
+// TestLeaseReadSafety checks the lease-read guarantee: a live leader
+// with majority acks serves lease reads, followers redirect, and a
+// deposed (partitioned) leader's lease expires — it must redirect, not
+// serve stale reads, even while it still believes it leads.
+func TestLeaseReadSafety(t *testing.T) {
+	c := newTestCluster(t, 3, fastOptions())
+	l := c.waitLeader(t, nil)
+	// Let a heartbeat round collect majority acks.
+	deadline := time.Now().Add(5 * time.Second)
+	for !c.nodes[l].e.LeaseRead() && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !c.nodes[l].e.LeaseRead() {
+		t.Fatal("leader with live majority never acquired a lease")
+	}
+	for i, tn := range c.nodes {
+		if i != l && tn.e.LeaseRead() {
+			t.Fatalf("follower %d claimed a lease read", i)
+		}
+	}
+	if got := c.nodes[l].e.Counters()["raft.lease_reads"]; got == 0 {
+		t.Fatal("lease reads not counted")
+	}
+	if got := c.nodes[0].e.Counters()["raft.read_redirects"]; got == 0 {
+		if got = c.nodes[(l+1)%3].e.Counters()["raft.read_redirects"]; got == 0 {
+			t.Fatal("redirects not counted")
+		}
+	}
+
+	// Depose the leader by partitioning it away; its lease must lapse
+	// before a successor can win (lease ≤ ElectionTimeout/2).
+	c.net.Partition([]simnet.NodeID{simnet.NodeID(l)})
+	time.Sleep(fastOptions().ElectionTimeout / 2)
+	if c.nodes[l].e.LeaseRead() {
+		t.Fatal("partitioned leader served a lease read past its lease")
+	}
+	// The majority side elects a successor that can serve lease reads.
+	skip := map[int]bool{l: true}
+	nl := c.waitLeader(t, skip)
+	deadline = time.Now().Add(5 * time.Second)
+	for !c.nodes[nl].e.LeaseRead() && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !c.nodes[nl].e.LeaseRead() {
+		t.Fatal("successor leader never acquired a lease")
+	}
+}
+
+// TestSubTickBatchTimeout pins the satellite decoupling BatchTimeout
+// from tick granularity: with a deliberately huge heartbeat, a partial
+// batch must still commit in ~BatchTimeout via the pool-notify path and
+// the sub-tick timer, not a full tick later.
+func TestSubTickBatchTimeout(t *testing.T) {
+	opts := DefaultOptions()
+	opts.ElectionTimeout = 300 * time.Millisecond
+	opts.Heartbeat = 120 * time.Millisecond // tick floor the event path must beat
+	opts.BatchTimeout = 5 * time.Millisecond
+	c := newTestCluster(t, 3, opts)
+	l := c.waitLeader(t, nil)
+
+	for i := 0; i < 3; i++ {
+		tx := c.submit(1000+i, nil)
+		start := time.Now()
+		deadline := start.Add(10 * time.Second)
+		for {
+			if _, ok := c.nodes[l].chain.Receipt(tx.Hash()); ok {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("tx %d did not commit", i)
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		if lat := time.Since(start); lat > opts.Heartbeat/2 {
+			t.Fatalf("tx %d commit took %v — quantized to the %v tick, not the %v batch timeout",
+				i, lat, opts.Heartbeat, opts.BatchTimeout)
+		}
 	}
 }

@@ -80,6 +80,18 @@ type Router interface {
 	CommittedElsewhere(id types.Hash) bool
 }
 
+// LeaseReader is implemented by consensus engines that classify client
+// reads under a leader lease (the Raft engine, and the sharded engine
+// via its shard group's replica). LeaseRead reports whether this
+// replica can serve a linearizable read locally right now — it is the
+// leader and has heard from a majority within its lease window. When it
+// cannot, the node models the redirect hop a real deployment would pay
+// to reach the leader as one extra RPC round trip; the engine surfaces
+// the split as raft.lease_reads vs raft.read_redirects counters.
+type LeaseReader interface {
+	LeaseRead() bool
+}
+
 // ErrStopped is returned by RPCs on a stopped node.
 var ErrStopped = errors.New("node: stopped")
 
@@ -91,7 +103,8 @@ type Node struct {
 	cfg    Config
 	ep     *simnet.Endpoint
 	cons   consensus.Engine
-	router Router // non-nil when the consensus engine routes ingress
+	router Router      // non-nil when the consensus engine routes ingress
+	lease  LeaseReader // non-nil when the consensus engine leases reads
 
 	ingest  chan *types.Transaction
 	stop    chan struct{}
@@ -122,6 +135,9 @@ func New(cfg Config) *Node {
 	n.cons = cfg.NewConsensus(ctx)
 	if r, ok := n.cons.(Router); ok {
 		n.router = r
+	}
+	if lr, ok := n.cons.(LeaseReader); ok {
+		n.lease = lr
 	}
 	if cfg.ServerSigns {
 		q := cfg.IngestQueue
@@ -280,12 +296,23 @@ type BlockInfo struct {
 	TxIDs  []types.Hash
 }
 
+// leaseCheck classifies a read RPC against the consensus engine's
+// leader lease, if it keeps one: a replica that cannot vouch for
+// freshness (follower, or a leader whose lease lapsed) costs the extra
+// round trip of redirecting the client to the leader.
+func (n *Node) leaseCheck() {
+	if n.lease != nil && !n.lease.LeaseRead() && n.cfg.RPCLatency > 0 {
+		time.Sleep(n.cfg.RPCLatency)
+	}
+}
+
 // BlocksFrom returns confirmed canonical blocks above height h — the
 // connector's getLatestBlock(h).
 func (n *Node) BlocksFrom(h uint64) ([]BlockInfo, error) {
 	if err := n.rpc(); err != nil {
 		return nil, err
 	}
+	n.leaseCheck()
 	var out []BlockInfo
 	height := n.cfg.Chain.Height()
 	if height >= n.cfg.ConfirmationDepth {
@@ -367,6 +394,7 @@ func (n *Node) Receipt(txHash types.Hash) (*types.Receipt, bool, error) {
 	if err := n.rpc(); err != nil {
 		return nil, false, err
 	}
+	n.leaseCheck()
 	r, ok := n.cfg.Chain.Receipt(txHash)
 	if !ok && n.router != nil && n.router.CommittedElsewhere(txHash) {
 		// Routed to a foreign chain and confirmed committed there; the

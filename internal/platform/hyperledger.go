@@ -27,7 +27,7 @@ func hyperledgerPreset() *Preset {
 		// Progress requires a live quorum, so blocks are final on commit:
 		// the protocol never forks.
 		SupportsForks: false,
-		Fill: func(cfg *Config) {
+		Fill: func(cfg *Config) error {
 			if cfg.BatchSize == 0 {
 				cfg.BatchSize = 20
 			}
@@ -37,6 +37,7 @@ func hyperledgerPreset() *Preset {
 			if cfg.ViewTimeout <= 0 {
 				cfg.ViewTimeout = 400 * time.Millisecond
 			}
+			return nil
 		},
 		NewEngine: func(cfg *Config, _ exec.MemModel) (exec.Engine, error) {
 			return exec.NewNativeEngine(cfg.Contracts...)

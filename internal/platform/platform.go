@@ -81,12 +81,28 @@ type Config struct {
 	ViewTimeout  time.Duration // view-change timer (default 400ms)
 
 	// Quorum (Raft) knobs, shared by the sharded preset's per-shard
-	// groups.
+	// groups. All are exposed as -popt key=val on both presets
+	// (heartbeat=, batch=, maxappend=, window=, retain=).
 	ElectionTimeout   time.Duration // follower election timeout floor (default 300ms)
-	HeartbeatInterval time.Duration // leader append/heartbeat cadence (default 20ms)
+	HeartbeatInterval time.Duration // leader heartbeat cadence (default 20ms)
+	RaftWindow        int           // uncommitted entries / per-follower pipeline depth (default 64)
+	RaftMaxAppend     int           // entries per AppendEntries message (default 32)
+	// RaftRetain is the log-compaction retention window in entries:
+	// 0 takes the preset default (4096), negative disables compaction
+	// (-popt retain=0).
+	RaftRetain int
+	// RaftLeaseFactor sizes leader leases as Heartbeat×LeaseFactor
+	// (default 3, capped at half the election timeout).
+	RaftLeaseFactor int
 
 	// Sharded knobs.
 	Shards int // shard groups (default min(4, Nodes), clamped to Nodes)
+	// Partitioner selects key placement: "hash" (default) or "range"
+	// (-popt partitioner=range). PartitionBounds are the range split
+	// points (-popt bounds=a,b,c → 4 shards-worth of ranges); when empty
+	// the range partitioner splits the key space evenly by leading byte.
+	Partitioner     string
+	PartitionBounds []string
 
 	// Options carries generic -popt key=val parameters for the selected
 	// preset's Fill hook — the platform-side mirror of workload -wopt,
@@ -147,7 +163,9 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	if p.Fill != nil {
-		p.Fill(&cfg)
+		if err := p.Fill(&cfg); err != nil {
+			return nil, err
+		}
 	}
 	c := &Cluster{Kind: cfg.Kind, preset: p, cfg: cfg}
 	c.Net = simnet.New(cfg.Net)

@@ -1,8 +1,6 @@
 package platform
 
 import (
-	"time"
-
 	"blockbench/internal/consensus"
 	"blockbench/internal/consensus/raft"
 )
@@ -14,6 +12,11 @@ import (
 // moved from Byzantine agreement to cheaper ordering for throughput:
 // O(N) replication messages per batch and immediate finality, at the
 // price of tolerating only crash faults (f < N/2, no Byzantine nodes).
+//
+// The engine is event-driven and pipelined (propose-time replication,
+// leader-lease reads, log compaction); its knobs are exposed as generic
+// platform options: -popt heartbeat=10ms,batch=32,maxappend=64,
+// window=128,retain=4096 (retain=0 disables compaction).
 const Quorum Kind = "quorum"
 
 func quorumPreset() *Preset {
@@ -23,23 +26,8 @@ func quorumPreset() *Preset {
 		// Raft never forks, but the trie keeps historical roots, so the
 		// ledger's versioned-state queries (analytics Q2) stay available.
 		SupportsForks: true,
-		Fill: func(cfg *Config) {
-			if cfg.CacheEntries == 0 {
-				cfg.CacheEntries = 4096
-			}
-			if cfg.BatchSize == 0 {
-				cfg.BatchSize = 20
-			}
-			if cfg.BatchTimeout <= 0 {
-				cfg.BatchTimeout = 10 * time.Millisecond
-			}
-			if cfg.ElectionTimeout <= 0 {
-				cfg.ElectionTimeout = 300 * time.Millisecond
-			}
-			if cfg.HeartbeatInterval <= 0 {
-				cfg.HeartbeatInterval = 20 * time.Millisecond
-			}
-		},
+		OptionKeys:    raftOptionKeys,
+		Fill:          fillRaftConfig,
 		// Same geth lineage as the Ethereum preset: EVM, trie state with
 		// a shared per-node LRU, and the geth memory cost model.
 		MemModel:        gethMemModel,
@@ -48,13 +36,8 @@ func quorumPreset() *Preset {
 		// Blocks are batch-bounded like PBFT, not gas-bounded (no
 		// GasLimit hook), and final on commit: no confirmation depth.
 		NewConsensus: func(cfg *Config, _ *Env) func(consensus.Context) consensus.Engine {
+			opts := raftOptions(cfg)
 			return func(ctx consensus.Context) consensus.Engine {
-				opts := raft.DefaultOptions()
-				opts.ElectionTimeout = cfg.ElectionTimeout
-				opts.Heartbeat = cfg.HeartbeatInterval
-				opts.BatchSize = cfg.BatchSize
-				opts.BatchTimeout = cfg.BatchTimeout
-				opts.Seed = cfg.Net.Seed
 				return raft.New(ctx, opts)
 			}
 		},

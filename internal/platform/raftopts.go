@@ -1,0 +1,115 @@
+package platform
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"blockbench/internal/consensus/raft"
+)
+
+// raftOptionKeys are the generic -popt keys the Raft-backed presets
+// (quorum, sharded) expose for the consensus engine's tuning knobs.
+var raftOptionKeys = []string{"heartbeat", "batch", "maxappend", "window", "retain"}
+
+// poptPositiveInt parses one positive-integer -popt value; ok reports
+// whether the key was present at all.
+func poptPositiveInt(cfg *Config, key string) (n int, ok bool, err error) {
+	v, ok := cfg.Options[key]
+	if !ok {
+		return 0, false, nil
+	}
+	n, err = strconv.Atoi(v)
+	if err != nil || n <= 0 {
+		return 0, true, fmt.Errorf("platform: %s: -popt %s=%q: want a positive integer", cfg.Kind, key, v)
+	}
+	return n, true, nil
+}
+
+// fillRaftConfig folds the generic -popt raft keys into their typed
+// Config fields (validating values), then applies the Raft-backed
+// presets' shared defaults. An explicit `retain=0` disables compaction
+// (stored as the -1 sentinel, since 0 means "preset default").
+func fillRaftConfig(cfg *Config) error {
+	if v, ok := cfg.Options["heartbeat"]; ok {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return fmt.Errorf("platform: %s: -popt heartbeat=%q: want a positive duration (e.g. 10ms)", cfg.Kind, v)
+		}
+		cfg.HeartbeatInterval = d
+	}
+	if n, ok, err := poptPositiveInt(cfg, "batch"); err != nil {
+		return err
+	} else if ok {
+		cfg.BatchSize = n
+	}
+	if n, ok, err := poptPositiveInt(cfg, "maxappend"); err != nil {
+		return err
+	} else if ok {
+		cfg.RaftMaxAppend = n
+	}
+	if n, ok, err := poptPositiveInt(cfg, "window"); err != nil {
+		return err
+	} else if ok {
+		cfg.RaftWindow = n
+	}
+	if v, ok := cfg.Options["retain"]; ok {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return fmt.Errorf("platform: %s: -popt retain=%q: want a non-negative integer (0 disables compaction)", cfg.Kind, v)
+		}
+		if n == 0 {
+			cfg.RaftRetain = -1
+		} else {
+			cfg.RaftRetain = n
+		}
+	}
+
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 4096
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 20
+	}
+	if cfg.BatchTimeout <= 0 {
+		cfg.BatchTimeout = 10 * time.Millisecond
+	}
+	if cfg.ElectionTimeout <= 0 {
+		cfg.ElectionTimeout = 300 * time.Millisecond
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = 20 * time.Millisecond
+	}
+	if cfg.HeartbeatInterval >= cfg.ElectionTimeout {
+		return fmt.Errorf("platform: %s: heartbeat %v must stay well below the election timeout %v",
+			cfg.Kind, cfg.HeartbeatInterval, cfg.ElectionTimeout)
+	}
+	return nil
+}
+
+// raftOptions assembles the consensus engine's Options from a filled
+// Config.
+func raftOptions(cfg *Config) raft.Options {
+	opts := raft.DefaultOptions()
+	opts.ElectionTimeout = cfg.ElectionTimeout
+	opts.Heartbeat = cfg.HeartbeatInterval
+	opts.BatchSize = cfg.BatchSize
+	opts.BatchTimeout = cfg.BatchTimeout
+	if cfg.RaftWindow > 0 {
+		opts.Window = cfg.RaftWindow
+	}
+	if cfg.RaftMaxAppend > 0 {
+		opts.MaxAppend = cfg.RaftMaxAppend
+	}
+	if cfg.RaftLeaseFactor > 0 {
+		opts.LeaseFactor = cfg.RaftLeaseFactor
+	}
+	switch {
+	case cfg.RaftRetain < 0:
+		opts.Retain = 0 // explicitly disabled
+	case cfg.RaftRetain > 0:
+		opts.Retain = cfg.RaftRetain
+	}
+	opts.Seed = cfg.Net.Seed
+	return opts
+}

@@ -1,0 +1,131 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"blockbench/internal/types"
+)
+
+// TestRaftPoptValidation exercises the generic-option seam for the
+// Raft-backed presets: nonsense values must fail New loudly instead of
+// silently running the defaults.
+func TestRaftPoptValidation(t *testing.T) {
+	bad := []struct {
+		kind Kind
+		opts map[string]string
+		want string
+	}{
+		{Quorum, map[string]string{"heartbeat": "fast"}, "heartbeat"},
+		{Quorum, map[string]string{"heartbeat": "-5ms"}, "heartbeat"},
+		{Quorum, map[string]string{"batch": "0"}, "batch"},
+		{Quorum, map[string]string{"maxappend": "x"}, "maxappend"},
+		{Quorum, map[string]string{"window": "-3"}, "window"},
+		{Quorum, map[string]string{"retain": "-1"}, "retain"},
+		{Quorum, map[string]string{"heartbeat": "500ms"}, "election timeout"}, // >= election timeout
+		{Sharded, map[string]string{"shards": "zero"}, "shards"},
+		{Sharded, map[string]string{"partitioner": "round-robin"}, "partitioner"},
+		{Sharded, map[string]string{"bounds": "a,b"}, "partitioner=range"},
+		{Sharded, map[string]string{"partitioner": "range", "bounds": "a,,c"}, "empty"},
+		{Sharded, map[string]string{"partitioner": "range", "bounds": "a,b,a"}, "duplicate"},
+		{Sharded, map[string]string{"shards": "2", "partitioner": "range", "bounds": "a,b,c"}, "shards=2"},
+	}
+	for _, tc := range bad {
+		cfg := fastConfig(tc.kind, 4, clientKeys(1))
+		cfg.Options = tc.opts
+		if _, err := New(cfg); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s %v: error %v, want mention of %q", tc.kind, tc.opts, err, tc.want)
+		}
+	}
+
+	// A full set of sane values boots.
+	cfg := fastConfig(Quorum, 3, clientKeys(1))
+	cfg.Options = map[string]string{
+		"heartbeat": "10ms", "batch": "8", "maxappend": "16", "window": "32", "retain": "64",
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("valid raft -popt set rejected: %v", err)
+	}
+	c.Close()
+	// retain=0 is the explicit compaction-off switch.
+	cfg = fastConfig(Quorum, 3, clientKeys(1))
+	cfg.Options = map[string]string{"retain": "0"}
+	if c, err = New(cfg); err != nil {
+		t.Fatalf("retain=0 rejected: %v", err)
+	}
+	c.Close()
+}
+
+// TestQuorumLeaseCountersFlow checks the read-lease counters reach the
+// cluster's generic counter aggregation: polling every node's read path
+// classifies leader reads as lease reads and follower reads as
+// redirects.
+func TestQuorumLeaseCountersFlow(t *testing.T) {
+	keys := clientKeys(2)
+	c, err := New(fastConfig(Quorum, 3, keys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Stop(); c.Close() })
+	c.Start()
+
+	ids := []types.Hash{submitYCSB(t, c, keys[0], true, 0)}
+	waitCommitted(t, c, ids, 30*time.Second)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		for i := 0; i < c.Size(); i++ {
+			if _, err := c.Node(i).BlocksFrom(0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := c.Counters()
+		if _, ok := got["raft.lease_reads"]; !ok {
+			t.Fatal("raft.lease_reads missing from cluster counters")
+		}
+		if _, ok := got["raft.read_redirects"]; !ok {
+			t.Fatal("raft.read_redirects missing from cluster counters")
+		}
+		if got["raft.lease_reads"] > 0 && got["raft.read_redirects"] > 0 {
+			return // leader served under lease, followers redirected
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("lease counters never both moved: %v", got)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestShardedRangePartitionerBoots proves the -popt partitioner=range
+// seam end to end: explicit split points place the test keys on both
+// shards and routed transactions still commit everywhere they should.
+func TestShardedRangePartitionerBoots(t *testing.T) {
+	keys := clientKeys(4)
+	cfg := fastConfig(Sharded, 4, keys)
+	// submitYCSB keys look like "key-N": split at "key-2" → 2 ranges.
+	cfg.Options = map[string]string{"partitioner": "range", "bounds": "key-2"}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Stop(); c.Close() })
+	c.Start()
+
+	const txs = 20
+	ids := make([]types.Hash, txs)
+	gateways := make([]int, txs)
+	for i := 0; i < txs; i++ {
+		ids[i] = submitYCSB(t, c, keys[i%len(keys)], true, i)
+		gateways[i] = i % c.Size()
+	}
+	waitReceipts(t, c, ids, gateways, 30*time.Second)
+
+	// Both ranges saw traffic: the per-shard counter prefixes from both
+	// groups must have applied batches.
+	got := c.Counters()
+	if got["shard0.raft.batches"] == 0 || got["shard1.raft.batches"] == 0 {
+		t.Fatalf("range placement left a shard idle: %v", got)
+	}
+}

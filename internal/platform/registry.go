@@ -73,8 +73,11 @@ type Preset struct {
 	// running the default configuration.
 	OptionKeys []string
 
-	// Fill applies the preset's default tuning to zero Config fields.
-	Fill func(cfg *Config)
+	// Fill applies the preset's default tuning to zero Config fields and
+	// folds the generic Config.Options values into their typed fields,
+	// erroring on values that fail validation (a -popt heartbeat=bogus
+	// must fail loudly, not run the default).
+	Fill func(cfg *Config) error
 	// MemModel returns the simulated execution-memory cost model (zero
 	// value disables memory accounting). Optional.
 	MemModel func(cfg *Config) exec.MemModel

@@ -1,54 +1,86 @@
 package platform
 
 import (
-	"strconv"
-	"time"
+	"fmt"
+	"strings"
 
 	"blockbench/internal/consensus"
-	"blockbench/internal/consensus/raft"
 	"blockbench/internal/sharding"
 )
 
 // Sharded is the partitioned-execution preset: the database scaling
 // technique the paper's conclusion singles out as absent from private
-// blockchains. State is hash-partitioned over S shard groups; each
-// group is an independent Raft-ordered pipeline (its own leader,
-// batching, ledger and pool) reusing the Quorum stack, so single-shard
+// blockchains. State is partitioned over S shard groups; each group is
+// an independent Raft-ordered pipeline (its own leader, batching,
+// ledger and pool) reusing the Quorum stack, so single-shard
 // transactions commit without touching any other group. Transactions
 // whose keys span shards run two-phase commit across the touched
 // groups' leaders (prepare/lock, unanimous commit, abort-retry with
 // backoff) — the cross-partition path whose cost the shard-scaling
 // benchmark measures against the fast path.
+//
+// Placement defaults to hash partitioning; -popt partitioner=range
+// switches to range placement (scan-friendly co-location, hotspot
+// sensitive), with explicit split points via -popt bounds=k1,k2 or an
+// even leading-byte split when none are given. The per-group Raft
+// engines take the same -popt knobs as the quorum preset.
 const Sharded Kind = "sharded"
 
 func shardedPreset() *Preset {
 	return &Preset{
 		Kind:     Sharded,
-		Describe: "sharded execution: hash-partitioned state, per-shard Raft groups, cross-shard 2PC",
+		Describe: "sharded execution: partitioned state, per-shard Raft groups, cross-shard 2PC",
 		// Per-shard Raft never forks, but the trie keeps historical
 		// roots for versioned-state queries, as on Quorum.
 		SupportsForks: true,
-		OptionKeys:    []string{"shards"},
-		Fill: func(cfg *Config) {
-			if cfg.CacheEntries == 0 {
-				cfg.CacheEntries = 4096
-			}
-			if cfg.BatchSize == 0 {
-				cfg.BatchSize = 20
-			}
-			if cfg.BatchTimeout <= 0 {
-				cfg.BatchTimeout = 10 * time.Millisecond
-			}
-			if cfg.ElectionTimeout <= 0 {
-				cfg.ElectionTimeout = 300 * time.Millisecond
-			}
-			if cfg.HeartbeatInterval <= 0 {
-				cfg.HeartbeatInterval = 20 * time.Millisecond
+		OptionKeys:    append([]string{"shards", "partitioner", "bounds"}, raftOptionKeys...),
+		Fill: func(cfg *Config) error {
+			if err := fillRaftConfig(cfg); err != nil {
+				return err
 			}
 			if cfg.Shards <= 0 {
-				if n, err := strconv.Atoi(cfg.Options["shards"]); err == nil && n > 0 {
+				if n, ok, err := poptPositiveInt(cfg, "shards"); err != nil {
+					return err
+				} else if ok {
 					cfg.Shards = n
 				}
+			}
+			if v, ok := cfg.Options["partitioner"]; ok {
+				cfg.Partitioner = v
+			}
+			switch cfg.Partitioner {
+			case "", "hash", "range":
+			default:
+				return fmt.Errorf("platform: sharded: -popt partitioner=%q: want hash or range", cfg.Partitioner)
+			}
+			if v, ok := cfg.Options["bounds"]; ok {
+				if cfg.Partitioner != "range" {
+					return fmt.Errorf("platform: sharded: -popt bounds requires partitioner=range")
+				}
+				cfg.PartitionBounds = strings.Split(v, ",")
+				seen := make(map[string]bool, len(cfg.PartitionBounds))
+				for _, b := range cfg.PartitionBounds {
+					if b == "" {
+						return fmt.Errorf("platform: sharded: -popt bounds=%q: empty split point", v)
+					}
+					if seen[b] {
+						// A duplicate split point would pin an extra shard
+						// group no key can ever reach.
+						return fmt.Errorf("platform: sharded: -popt bounds=%q: duplicate split point %q", v, b)
+					}
+					seen[b] = true
+				}
+				// Explicit split points pin the shard count: every router
+				// must place keys over exactly these ranges.
+				n := len(cfg.PartitionBounds) + 1
+				if cfg.Shards > 0 && cfg.Shards != n {
+					return fmt.Errorf("platform: sharded: %d bounds make %d shards, but shards=%d was requested",
+						len(cfg.PartitionBounds), n, cfg.Shards)
+				}
+				if n > cfg.Nodes {
+					return fmt.Errorf("platform: sharded: %d bounds make %d shards, but only %d nodes", len(cfg.PartitionBounds), n, cfg.Nodes)
+				}
+				cfg.Shards = n
 			}
 			if cfg.Shards <= 0 {
 				cfg.Shards = 4
@@ -56,6 +88,7 @@ func shardedPreset() *Preset {
 			if cfg.Shards > cfg.Nodes {
 				cfg.Shards = cfg.Nodes
 			}
+			return nil
 		},
 		// Same geth lineage as Quorum: EVM, trie state, shared LRU.
 		MemModel:        gethMemModel,
@@ -63,19 +96,42 @@ func shardedPreset() *Preset {
 		NewStateFactory: trieSharedStateFactory,
 		NewConsensus: func(cfg *Config, _ *Env) func(consensus.Context) consensus.Engine {
 			shards := cfg.Shards
-			ropts := raft.DefaultOptions()
-			ropts.ElectionTimeout = cfg.ElectionTimeout
-			ropts.Heartbeat = cfg.HeartbeatInterval
-			ropts.BatchSize = cfg.BatchSize
-			ropts.BatchTimeout = cfg.BatchTimeout
+			ropts := raftOptions(cfg)
+			part := shardPartitioner(cfg)
 			seed := cfg.Net.Seed
 			return func(ctx consensus.Context) consensus.Engine {
 				opts := sharding.DefaultOptions()
 				opts.Shards = shards
+				opts.Partitioner = part
 				opts.Raft = ropts
 				opts.Seed = seed
 				return sharding.New(ctx, opts)
 			}
 		},
 	}
+}
+
+// shardPartitioner builds the placement function every node of the
+// cluster shares (construction must be deterministic from the config —
+// all routers have to agree). nil lets the sharding engine default to
+// hash partitioning over the clamped shard count.
+func shardPartitioner(cfg *Config) sharding.Partitioner {
+	if cfg.Partitioner != "range" {
+		return nil
+	}
+	if len(cfg.PartitionBounds) > 0 {
+		bounds := make([][]byte, len(cfg.PartitionBounds))
+		for i, b := range cfg.PartitionBounds {
+			bounds[i] = []byte(b)
+		}
+		return sharding.NewRangePartitioner(bounds...)
+	}
+	// No explicit split points: split the key space evenly by leading
+	// byte. Workloads whose keys share a prefix will hotspot one range —
+	// pass -popt bounds= split points matched to the key population.
+	bounds := make([][]byte, cfg.Shards-1)
+	for i := range bounds {
+		bounds[i] = []byte{byte(256 * (i + 1) / cfg.Shards)}
+	}
+	return sharding.NewRangePartitioner(bounds...)
 }

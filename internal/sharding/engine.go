@@ -187,6 +187,11 @@ func New(ctx consensus.Context, opts Options) *Engine {
 	if opts.Partitioner == nil {
 		opts.Partitioner = NewHashPartitioner(opts.Shards)
 	}
+	if opts.Partitioner.Shards() != len(groups) {
+		// Routing tables and the shard groups must agree, on every node.
+		panic(fmt.Sprintf("sharding: partitioner places over %d shards but the cluster forms %d groups",
+			opts.Partitioner.Shards(), len(groups)))
+	}
 	shard := GroupOf(groups, ctx.Self)
 	if shard < 0 {
 		panic(fmt.Sprintf("sharding: node %v not in any group", ctx.Self))
@@ -230,6 +235,11 @@ func (e *Engine) Partition() Partitioner { return e.part }
 
 // Inner exposes the node's shard-group consensus replica.
 func (e *Engine) Inner() *raft.Engine { return e.inner }
+
+// LeaseRead implements the node package's lease-read hook: a gateway
+// vouches for read freshness exactly when its own shard group's replica
+// holds a live leader lease.
+func (e *Engine) LeaseRead() bool { return e.inner.LeaseRead() }
 
 // Start implements consensus.Engine.
 func (e *Engine) Start() {
@@ -348,9 +358,12 @@ func (e *Engine) CommittedElsewhere(id types.Hash) bool {
 // processed, everything else is declined.
 func (e *Engine) Handle(msg simnet.Message) bool {
 	switch msg.Type {
-	case raft.MsgRequestVote, raft.MsgVote, raft.MsgAppend, raft.MsgAppendResp:
+	case raft.MsgRequestVote, raft.MsgVote, raft.MsgAppend, raft.MsgAppendResp,
+		raft.MsgSnapshot, consensus.MsgSyncReq, consensus.MsgSyncResp:
 		// Consensus is per group: traffic from other groups' replicas
 		// (broadcast elections reach everyone) must not leak into ours.
+		// That includes the snapshot-install chain sync — every group
+		// keeps its own canonical chain.
 		if !e.member[msg.From] {
 			return true
 		}

@@ -49,6 +49,7 @@ type Pool struct {
 	seq    atomic.Uint64
 	length atomic.Int64
 	limit  int
+	notify chan struct{}
 }
 
 // New creates a pool that holds at most limit pending transactions
@@ -56,11 +57,26 @@ type Pool struct {
 // approximate: racing adders can overshoot by at most a few
 // transactions, never by more than one per shard.
 func New(limit int) *Pool {
-	p := &Pool{limit: limit}
+	p := &Pool{limit: limit, notify: make(chan struct{}, 1)}
 	for i := range p.shards {
 		p.shards[i].index = make(map[types.Hash]int)
 	}
 	return p
+}
+
+// Notify returns the pool's admission signal: a 1-buffered channel that
+// receives (coalesced, non-blocking) whenever a transaction enters the
+// pending set via Add or Reinject. An event-driven consumer — the Raft
+// engine's propose-time replication — selects on it instead of polling
+// the pool on a timer; a drained signal may cover any number of
+// admissions.
+func (p *Pool) Notify() <-chan struct{} { return p.notify }
+
+func (p *Pool) signal() {
+	select {
+	case p.notify <- struct{}{}:
+	default:
+	}
 }
 
 func (p *Pool) shardOf(h types.Hash) *shard {
@@ -83,6 +99,7 @@ func (p *Pool) Add(tx *types.Transaction) bool {
 	s.index[h] = len(s.pending)
 	s.pending = append(s.pending, entry{tx: tx, hash: h, seq: p.seq.Add(1)})
 	p.length.Add(1)
+	p.signal()
 	return true
 }
 
@@ -256,6 +273,7 @@ func (p *Pool) Reinject(txs []*types.Transaction) {
 		s.pending = append(s.pending, entry{tx: tx, hash: h, seq: p.seq.Add(1)})
 		p.length.Add(1)
 		s.mu.Unlock()
+		p.signal()
 	}
 }
 

@@ -291,3 +291,45 @@ func TestBatchAffinityGroupsAndKeepsFIFO(t *testing.T) {
 		}
 	}
 }
+
+func TestNotifySignalsAdmissions(t *testing.T) {
+	p := New(0)
+	ch := p.Notify()
+	select {
+	case <-ch:
+		t.Fatal("signal before any admission")
+	default:
+	}
+	a := tx(1, 1)
+	p.Add(a)
+	select {
+	case <-ch:
+	default:
+		t.Fatal("Add did not signal")
+	}
+	// Coalesced: many admissions leave at most one pending signal.
+	for i := uint64(2); i < 10; i++ {
+		p.Add(tx(i, 1))
+	}
+	<-ch
+	select {
+	case <-ch:
+		t.Fatal("signal not coalesced")
+	default:
+	}
+	// Duplicates do not signal.
+	p.Add(a)
+	select {
+	case <-ch:
+		t.Fatal("duplicate admission signalled")
+	default:
+	}
+	// Reinject signals again.
+	p.MarkIncluded([]*types.Transaction{a})
+	p.Reinject([]*types.Transaction{a})
+	select {
+	case <-ch:
+	default:
+		t.Fatal("Reinject did not signal")
+	}
+}
