@@ -8,7 +8,7 @@
 #                trajectory accumulates across PRs
 GO ?= go
 
-.PHONY: build vet test race bench clean
+.PHONY: build vet test race bench bench-check clean
 
 build:
 	$(GO) build ./...
@@ -36,5 +36,16 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem -timeout 120m -json . ./internal/txpool ./internal/mpt ./internal/consensus/raft > BENCH_ci.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_ci.json | sed 's/"Output":"//;s/\\n$$//' || true
 
+# bench-check is the CI regression gate: run only the tracked benchmark
+# families (raft commit latency, shard scaling, exec scaling, txpool
+# contention) into BENCH_new.json, then compare against the committed
+# BENCH_ci.json baseline with cmd/benchcheck's tolerance. The committed
+# file is never overwritten here — refresh it with `make bench` when a
+# PR legitimately moves the numbers.
+bench-check:
+	$(GO) test -run '^$$' -bench 'BenchmarkRaftCommitLatency|BenchmarkShardScaling|BenchmarkExecScaling|BenchmarkPoolContention' \
+		-benchtime 1x -benchmem -timeout 60m -json . ./internal/txpool ./internal/consensus/raft > BENCH_new.json
+	$(GO) run ./cmd/benchcheck -baseline BENCH_ci.json -new BENCH_new.json
+
 clean:
-	rm -f BENCH_ci.json
+	rm -f BENCH_ci.json BENCH_new.json

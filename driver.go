@@ -399,11 +399,16 @@ func (r *Handle) finish() {
 }
 
 // counterDelta returns after-before per key, keeping zero-valued keys so
-// consumers can see which counters a platform exposes at all.
+// consumers can see which counters a platform exposes at all. Gauge
+// keys (metrics.GaugeKey: configuration levels like pool sizes) pass
+// through undifferenced — their delta over a run is always zero, which
+// would hide the configured value from every frame.
 func counterDelta(after, before map[string]uint64) map[string]uint64 {
 	out := make(map[string]uint64, len(after))
 	for k, v := range after {
-		if b := before[k]; v >= b {
+		if metrics.GaugeKey(k) {
+			out[k] = v
+		} else if b := before[k]; v >= b {
 			out[k] = v - b
 		} else {
 			out[k] = 0

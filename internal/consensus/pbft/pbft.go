@@ -131,18 +131,18 @@ type Engine struct {
 	// peers sorted for deterministic primary rotation.
 	peers []simnet.NodeID
 
-	mu            sync.Mutex
-	view          uint64
-	active        bool // false while a view change is in progress
-	instances     map[uint64]*instance
-	assigned      map[types.Hash]bool // txs already batched (primary)
-	nextSeq       uint64
-	vcVotes       map[uint64]map[simnet.NodeID]*ViewChange
-	votedView     uint64
-	lastProgress  time.Time
-	failedViews   uint64 // consecutive views without progress (backoff)
-	viewChanges   atomic.Uint64
-	batchesDone   atomic.Uint64
+	mu           sync.Mutex
+	view         uint64
+	active       bool // false while a view change is in progress
+	instances    map[uint64]*instance
+	assigned     map[types.Hash]bool // txs already batched (primary)
+	nextSeq      uint64
+	vcVotes      map[uint64]map[simnet.NodeID]*ViewChange
+	votedView    uint64
+	lastProgress time.Time
+	failedViews  uint64 // consecutive views without progress (backoff)
+	viewChanges  atomic.Uint64
+	batchesDone  atomic.Uint64
 
 	stop    chan struct{}
 	done    sync.WaitGroup

@@ -45,10 +45,10 @@ func runBinOp(t *testing.T, op string, a, b uint64) (uint64, error) {
 // nullState satisfies evm.State for pure computations.
 type nullState struct{}
 
-func (nullState) GetState(string, []byte) []byte                     { return nil }
-func (nullState) SetState(string, []byte, []byte)                    {}
-func (nullState) DeleteState(string, []byte)                         {}
-func (nullState) GetBalance(types.Address) uint64                    { return 0 }
+func (nullState) GetState(string, []byte) []byte                      { return nil }
+func (nullState) SetState(string, []byte, []byte)                     {}
+func (nullState) DeleteState(string, []byte)                          {}
+func (nullState) GetBalance(types.Address) uint64                     { return 0 }
 func (nullState) Transfer(types.Address, types.Address, uint64) error { return nil }
 
 // TestVMArithmeticMatchesGo checks that every binary ALU opcode computes

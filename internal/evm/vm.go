@@ -61,18 +61,18 @@ const (
 	opSSTORE = 0x41 // pops valLen, valOff, keyLen, keyOff
 	opSDEL   = 0x42 // pops keyLen, keyOff
 
-	opARGN   = 0x50 // pushes number of call args
-	opARG    = 0x51 // pops dstOff, i; copies arg i to memory; pushes len
-	opARGW   = 0x52 // pops i; pushes U64(arg i)
-	opCALLER = 0x53 // pops dstOff; writes 20-byte caller; pushes 20
-	opVALUE  = 0x54 // pushes tx value
-	opSELFBAL = 0x55
+	opARGN     = 0x50 // pushes number of call args
+	opARG      = 0x51 // pops dstOff, i; copies arg i to memory; pushes len
+	opARGW     = 0x52 // pops i; pushes U64(arg i)
+	opCALLER   = 0x53 // pops dstOff; writes 20-byte caller; pushes 20
+	opVALUE    = 0x54 // pushes tx value
+	opSELFBAL  = 0x55
 	opBALANCE  = 0x56 // pops addrOff; pushes balance of address at memory
 	opTRANSFER = 0x57 // pops amount, addrOff; pays out of contract account
 
-	opRETURN = 0x60 // pops len, off; halts returning memory[off:off+len]
-	opREVERT = 0x61 // pops len, off; halts, reverting, with message
-	opSHA3   = 0x62 // pops len, off, dstOff; writes 32-byte hash; pushes 32
+	opRETURN  = 0x60 // pops len, off; halts returning memory[off:off+len]
+	opREVERT  = 0x61 // pops len, off; halts, reverting, with message
+	opSHA3    = 0x62 // pops len, off, dstOff; writes 32-byte hash; pushes 32
 	opGASLEFT = 0x63
 )
 

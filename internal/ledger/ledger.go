@@ -25,10 +25,24 @@ var (
 	ErrNoForks       = errors.New("ledger: platform does not fork")
 )
 
+// BlockExecutor applies a whole transaction list to a state database,
+// returning one receipt per transaction in order. Implementations must
+// leave db's overlay byte-identical to serial execution with
+// Config.Engine (the parallel executor in internal/exec/parallel is
+// the one shipped implementation).
+type BlockExecutor interface {
+	ExecuteBlock(eng exec.Engine, db *state.DB, txs []*types.Transaction, blockNum uint64) []*types.Receipt
+}
+
 // Config assembles a chain.
 type Config struct {
 	// Engine executes transactions.
 	Engine exec.Engine
+	// Parallel, when non-nil, executes block transaction lists through
+	// the optimistic intra-block scheduler instead of the serial loop.
+	// Proposals under a block gas limit stay serial: inclusion is
+	// decided per transaction in sequence order there.
+	Parallel BlockExecutor
 	// StateFactory opens a state database at the given root. Platforms
 	// without state versioning (Hyperledger's bucket tree) may return a
 	// process-wide singleton; they must also set SupportsForks=false.
@@ -149,13 +163,19 @@ func (c *Chain) execute(parent *entry, b *types.Block) (types.Hash, []*types.Rec
 	if err != nil {
 		return types.ZeroHash, nil, 0, err
 	}
-	receipts := make([]*types.Receipt, len(b.Txs))
+	var receipts []*types.Receipt
+	if c.cfg.Parallel != nil {
+		receipts = c.cfg.Parallel.ExecuteBlock(c.cfg.Engine, db, b.Txs, b.Number())
+	} else {
+		receipts = make([]*types.Receipt, len(b.Txs))
+		for i, tx := range b.Txs {
+			receipts[i] = c.cfg.Engine.Execute(db, tx, b.Number())
+		}
+	}
 	var gasUsed uint64
-	for i, tx := range b.Txs {
-		r := c.cfg.Engine.Execute(db, tx, b.Number())
+	for i, r := range receipts {
 		r.Index = i
 		r.BlockHash = b.Hash()
-		receipts[i] = r
 		gasUsed += r.GasUsed
 	}
 	root, err := db.Commit()
@@ -297,15 +317,24 @@ func (c *Chain) ProposeBlock(txs []*types.Transaction, proposer types.Address, d
 		included []*types.Transaction
 		gasUsed  uint64
 	)
-	for _, tx := range txs {
-		snap := db.Snapshot()
-		r := c.cfg.Engine.Execute(db, tx, number)
-		if c.cfg.GasLimit > 0 && gasUsed+r.GasUsed > c.cfg.GasLimit {
-			db.Revert(snap)
-			break // block is full; keep FIFO order
+	if c.cfg.Parallel != nil && c.cfg.GasLimit == 0 {
+		// No gas ceiling to enforce per transaction, so the whole list
+		// is included and can execute on the parallel scheduler.
+		for _, r := range c.cfg.Parallel.ExecuteBlock(c.cfg.Engine, db, txs, number) {
+			gasUsed += r.GasUsed
 		}
-		gasUsed += r.GasUsed
-		included = append(included, tx)
+		included = txs
+	} else {
+		for _, tx := range txs {
+			snap := db.Snapshot()
+			r := c.cfg.Engine.Execute(db, tx, number)
+			if c.cfg.GasLimit > 0 && gasUsed+r.GasUsed > c.cfg.GasLimit {
+				db.Revert(snap)
+				break // block is full; keep FIFO order
+			}
+			gasUsed += r.GasUsed
+			included = append(included, tx)
+		}
 	}
 	root, err := db.Commit()
 	if err != nil {

@@ -20,8 +20,24 @@ import (
 // nodes without knowing concrete engine types — implementing this
 // interface is all a new backend needs for its counters to appear in
 // Report.Counters and every Snapshot.
+//
+// Keys for which GaugeKey reports true are exempt from the only-grow
+// contract's delta treatment: they carry configuration levels, and the
+// driver passes their summed value through unchanged instead of
+// differencing it across the run.
 type CounterProvider interface {
 	Counters() map[string]uint64
+}
+
+// GaugeKey reports whether a counter key carries an absolute level (a
+// configuration constant like a pool size) rather than a monotonic
+// total. The driver's per-run delta would cancel such a key to zero,
+// so it keeps the raw value instead. The convention is by suffix:
+// ".workers" names configured pool sizes (summed across nodes by the
+// cluster aggregation, so a 3-node cluster at workers=4 reports 12).
+func GaugeKey(key string) bool {
+	const suffix = ".workers"
+	return len(key) >= len(suffix) && key[len(key)-len(suffix):] == suffix
 }
 
 // Counter is a monotonically increasing atomic counter.

@@ -21,6 +21,7 @@ func ethereumPreset() *Preset {
 		Kind:          Ethereum,
 		Describe:      "geth v1.4.18: PoW, Patricia-Merkle trie + LRU state cache, EVM",
 		SupportsForks: true,
+		OptionKeys:    execOptionKeys,
 		Fill: func(cfg *Config) error {
 			if cfg.BlockInterval <= 0 {
 				cfg.BlockInterval = 100 * time.Millisecond
@@ -31,7 +32,7 @@ func ethereumPreset() *Preset {
 			if cfg.CacheEntries == 0 {
 				cfg.CacheEntries = 4096
 			}
-			return nil
+			return fillExecWorkers(cfg)
 		},
 		MemModel:        gethMemModel,
 		NewEngine:       newEVMEngine,

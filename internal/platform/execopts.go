@@ -1,0 +1,42 @@
+package platform
+
+import (
+	"fmt"
+
+	"blockbench/internal/exec/parallel"
+)
+
+// execOptionKeys are the generic -popt keys shared by every preset
+// that owns an execution engine and exposes the intra-block parallel
+// scheduler (ethereum, parity, quorum, sharded).
+var execOptionKeys = []string{"workers"}
+
+// fillExecWorkers folds -popt workers=N into Config.ExecWorkers and
+// applies the serial default. Zero and negative requests are rejected
+// through the Fill error path — a worker pool of no workers cannot
+// execute anything, and silently falling back to serial would make the
+// knob lie.
+func fillExecWorkers(cfg *Config) error {
+	if n, ok, err := poptPositiveInt(cfg, "workers"); err != nil {
+		return err
+	} else if ok {
+		cfg.ExecWorkers = n
+	}
+	if cfg.ExecWorkers < 0 {
+		return fmt.Errorf("platform: %s: ExecWorkers %d: want a positive worker count", cfg.Kind, cfg.ExecWorkers)
+	}
+	if cfg.ExecWorkers == 0 {
+		cfg.ExecWorkers = 1
+	}
+	return nil
+}
+
+// newBlockExecutor builds a node's intra-block executor once Fill has
+// resolved the worker count; nil when the preset left ExecWorkers
+// unset (hyperledger keeps the strictly serial Fabric v0.6 pipeline).
+func newBlockExecutor(cfg *Config) *parallel.Executor {
+	if cfg.ExecWorkers < 1 {
+		return nil
+	}
+	return parallel.New(cfg.ExecWorkers)
+}

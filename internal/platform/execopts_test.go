@@ -1,0 +1,78 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"blockbench/internal/types"
+)
+
+// TestExecWorkersPoptValidation: the workers knob must reject zero,
+// negative and non-integer requests through the Fill error path — a
+// pool of no workers can execute nothing, and silently falling back to
+// serial would make the knob lie. Hyperledger does not expose the knob
+// at all (its Fabric v0.6 pipeline is strictly serial), so there the
+// key is an unknown option.
+func TestExecWorkersPoptValidation(t *testing.T) {
+	bad := []struct {
+		kind Kind
+		opts map[string]string
+		want string
+	}{
+		{Quorum, map[string]string{"workers": "0"}, "workers"},
+		{Quorum, map[string]string{"workers": "-2"}, "workers"},
+		{Quorum, map[string]string{"workers": "many"}, "workers"},
+		{Ethereum, map[string]string{"workers": "0"}, "workers"},
+		{Parity, map[string]string{"workers": "-1"}, "workers"},
+		{Sharded, map[string]string{"workers": "0"}, "workers"},
+		{Hyperledger, map[string]string{"workers": "4"}, "no -popt options"},
+	}
+	for _, tc := range bad {
+		cfg := fastConfig(tc.kind, 4, clientKeys(1))
+		cfg.Options = tc.opts
+		if _, err := New(cfg); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s %v: error %v, want mention of %q", tc.kind, tc.opts, err, tc.want)
+		}
+	}
+
+	// Programmatic negatives take the same exit.
+	cfg := fastConfig(Quorum, 3, clientKeys(1))
+	cfg.ExecWorkers = -4
+	if _, err := New(cfg); err == nil || !strings.Contains(err.Error(), "ExecWorkers") {
+		t.Errorf("ExecWorkers=-4: error %v, want rejection", err)
+	}
+}
+
+// TestExecWorkersCountersFlow boots a quorum cluster with -popt
+// workers=4, commits a transaction, and checks the exec.parallel.*
+// counter family reaches the cluster's generic counter aggregation with
+// the configured pool size visible (summed across nodes).
+func TestExecWorkersCountersFlow(t *testing.T) {
+	keys := clientKeys(1)
+	cfg := fastConfig(Quorum, 3, keys)
+	cfg.Options = map[string]string{"workers": "4"}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Stop(); c.Close() })
+	c.Start()
+
+	ids := []types.Hash{submitYCSB(t, c, keys[0], true, 0)}
+	waitCommitted(t, c, ids, 30*time.Second)
+
+	got := c.Counters()
+	for _, k := range []string{"exec.parallel.txs", "exec.parallel.conflicts",
+		"exec.parallel.reexecs", "exec.parallel.workers"} {
+		if _, ok := got[k]; !ok {
+			t.Fatalf("%s missing from cluster counters: %v", k, got)
+		}
+	}
+	if got["exec.parallel.workers"] != uint64(4*c.Size()) {
+		t.Fatalf("exec.parallel.workers = %d, want 4 × %d nodes", got["exec.parallel.workers"], c.Size())
+	}
+	if got["exec.parallel.txs"] == 0 {
+		t.Fatal("committed transaction never went through the parallel executor")
+	}
+}

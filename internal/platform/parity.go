@@ -22,6 +22,7 @@ func parityPreset() *Preset {
 		Describe:      "Parity v1.6.0: PoA, state pinned in memory, EVM, server-side signing",
 		ServerSigns:   true,
 		SupportsForks: true,
+		OptionKeys:    execOptionKeys,
 		Fill: func(cfg *Config) error {
 			if cfg.StepDuration <= 0 {
 				cfg.StepDuration = 40 * time.Millisecond
@@ -32,7 +33,7 @@ func parityPreset() *Preset {
 			if cfg.ParityMemCap == 0 {
 				cfg.ParityMemCap = 256 << 20
 			}
-			return nil
+			return fillExecWorkers(cfg)
 		},
 		// Parity: ~135 B per element (13 GB at 100M), at 1/100 scale.
 		MemModel: func(*Config) exec.MemModel {

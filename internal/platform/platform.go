@@ -111,6 +111,13 @@ type Config struct {
 	// OptionKeys are rejected by New.
 	Options map[string]string
 
+	// ExecWorkers is the intra-block parallel execution worker count
+	// (-popt workers=N on the presets that own an execution engine:
+	// ethereum, parity, quorum, sharded). 0 takes the preset default;
+	// 1 is the serial path. The block outcome is byte-identical to
+	// serial execution at any worker count (see internal/exec/parallel).
+	ExecWorkers int
+
 	// Shared knobs.
 	MaxTxsPerBlock    int
 	RPCLatency        time.Duration // default 200µs
@@ -146,7 +153,10 @@ type Cluster struct {
 	stores   []kvstore.Store
 	engines  []exec.Engine
 	nodeKeys []*crypto.Key
-	cfg      Config
+	// providers holds additional per-node counter sources beyond the
+	// consensus and execution engines (the intra-block executors).
+	providers []metrics.CounterProvider
+	cfg       Config
 }
 
 // New builds (but does not start) a cluster of the registered platform
@@ -250,8 +260,14 @@ func (c *Cluster) buildNode(i int, peers []simnet.NodeID, env *Env,
 	if p.GasLimit != nil {
 		ledgerGas = p.GasLimit(cfg)
 	}
+	var blockExec ledger.BlockExecutor
+	if pex := newBlockExecutor(cfg); pex != nil {
+		blockExec = pex
+		c.providers = append(c.providers, pex)
+	}
 	chain, err := ledger.New(ledger.Config{
 		Engine:        eng,
+		Parallel:      blockExec,
 		StateFactory:  factory,
 		Registry:      reg,
 		GasLimit:      ledgerGas,
@@ -388,6 +404,9 @@ func (c *Cluster) Counters() map[string]uint64 {
 	for i, n := range c.nodes {
 		add(n.Consensus())
 		add(c.engines[i])
+	}
+	for _, p := range c.providers {
+		add(p)
 	}
 	return out
 }

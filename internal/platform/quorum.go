@@ -16,7 +16,8 @@ import (
 // The engine is event-driven and pipelined (propose-time replication,
 // leader-lease reads, log compaction); its knobs are exposed as generic
 // platform options: -popt heartbeat=10ms,batch=32,maxappend=64,
-// window=128,retain=4096 (retain=0 disables compaction).
+// window=128,retain=4096 (retain=0 disables compaction). -popt
+// workers=N turns on intra-block parallel execution (exec/parallel).
 const Quorum Kind = "quorum"
 
 func quorumPreset() *Preset {
@@ -26,8 +27,13 @@ func quorumPreset() *Preset {
 		// Raft never forks, but the trie keeps historical roots, so the
 		// ledger's versioned-state queries (analytics Q2) stay available.
 		SupportsForks: true,
-		OptionKeys:    raftOptionKeys,
-		Fill:          fillRaftConfig,
+		OptionKeys:    append(append([]string{}, raftOptionKeys...), execOptionKeys...),
+		Fill: func(cfg *Config) error {
+			if err := fillRaftConfig(cfg); err != nil {
+				return err
+			}
+			return fillExecWorkers(cfg)
+		},
 		// Same geth lineage as the Ethereum preset: EVM, trie state with
 		// a shared per-node LRU, and the geth memory cost model.
 		MemModel:        gethMemModel,

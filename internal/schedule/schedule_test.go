@@ -24,11 +24,11 @@ func (f *fakeCluster) record(s string) {
 	f.mu.Unlock()
 }
 
-func (f *fakeCluster) Size() int            { return f.size }
-func (f *fakeCluster) Crash(i int)          { f.record("crash") }
-func (f *fakeCluster) Recover(i int)        { f.record("recover") }
-func (f *fakeCluster) PartitionHalves(int)  { f.record("partition") }
-func (f *fakeCluster) Heal()                { f.record("heal") }
+func (f *fakeCluster) Size() int                              { return f.size }
+func (f *fakeCluster) Crash(i int)                            { f.record("crash") }
+func (f *fakeCluster) Recover(i int)                          { f.record("recover") }
+func (f *fakeCluster) PartitionHalves(int)                    { f.record("partition") }
+func (f *fakeCluster) Heal()                                  { f.record("heal") }
 func (f *fakeCluster) SetDelay(d time.Duration, nodes ...int) { f.record("setdelay") }
 
 func (f *fakeCluster) NodeHeight(i int) uint64 {
