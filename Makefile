@@ -31,20 +31,23 @@ race:
 # contention benchmarks, the trie-commit allocation benchmarks
 # (internal/mpt) and the raft engine benchmarks (commit latency with
 # the event pipeline on/off, long-run log residency with compaction
-# on/off), so all those trajectories accumulate across PRs.
+# on/off) and the storage-engine benchmarks (internal/kvstore: LSM
+# point reads vs history length, range scans, flat-cache hits), so all
+# those trajectories accumulate across PRs.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem -timeout 120m -json . ./internal/txpool ./internal/mpt ./internal/consensus/raft > BENCH_ci.json
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem -timeout 120m -json . ./internal/txpool ./internal/mpt ./internal/consensus/raft ./internal/kvstore > BENCH_ci.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_ci.json | sed 's/"Output":"//;s/\\n$$//' || true
 
 # bench-check is the CI regression gate: run only the tracked benchmark
 # families (raft commit latency, shard scaling, exec scaling, txpool
-# contention) into BENCH_new.json, then compare against the committed
-# BENCH_ci.json baseline with cmd/benchcheck's tolerance. The committed
-# file is never overwritten here — refresh it with `make bench` when a
-# PR legitimately moves the numbers.
+# contention, LSM point-read/range-scan, flat-cache hits) into
+# BENCH_new.json, then compare against the committed BENCH_ci.json
+# baseline with cmd/benchcheck's tolerance. The committed file is never
+# overwritten here — refresh it with `make bench` when a PR
+# legitimately moves the numbers.
 bench-check:
-	$(GO) test -run '^$$' -bench 'BenchmarkRaftCommitLatency|BenchmarkShardScaling|BenchmarkExecScaling|BenchmarkPoolContention' \
-		-benchtime 1x -benchmem -timeout 60m -json . ./internal/txpool ./internal/consensus/raft > BENCH_new.json
+	$(GO) test -run '^$$' -bench 'BenchmarkRaftCommitLatency|BenchmarkShardScaling|BenchmarkExecScaling|BenchmarkPoolContention|BenchmarkLSMPointRead|BenchmarkLSMRangeScan|BenchmarkFlatCacheHit' \
+		-benchtime 1x -benchmem -timeout 60m -json . ./internal/txpool ./internal/consensus/raft ./internal/kvstore > BENCH_new.json
 	$(GO) run ./cmd/benchcheck -baseline BENCH_ci.json -new BENCH_new.json
 
 clean:

@@ -78,17 +78,12 @@ func (e *Executor) ExecuteBlock(eng exec.Engine, db *state.DB, txs []*types.Tran
 
 	mv := state.NewMVStore(db)
 	views := make([]*state.TxView, n)
-	// contigAtExec[i] is the length of the committed prefix when tx i
-	// was last dispatched: if >= i, the execution ran with every earlier
-	// transaction final, which is what lets unbounded scans validate.
-	contigAtExec := make([]int, n)
 
 	pending := make([]int, n) // uncommitted tx indices, ascending
 	for i := range pending {
 		pending[i] = i
 	}
 	needExec := pending // txs whose current speculation is missing/stale
-	contig := 0         // length of the committed prefix
 
 	for len(pending) > 0 {
 		// Execution phase: dispatch in sequence order to the pool. The
@@ -120,7 +115,6 @@ func (e *Executor) ExecuteBlock(eng exec.Engine, db *state.DB, txs []*types.Tran
 			} else {
 				views[idx].Reset()
 			}
-			contigAtExec[idx] = contig
 			jobs <- idx
 		}
 		close(jobs)
@@ -134,10 +128,9 @@ func (e *Executor) ExecuteBlock(eng exec.Engine, db *state.DB, txs []*types.Tran
 		var nextPending, nextExec []int
 		blocked := false
 		for _, idx := range pending {
-			valid := e.validate(mv, views[idx], contigAtExec[idx])
+			valid := e.validate(mv, views[idx])
 			if valid && !blocked {
 				mv.Commit(idx, views[idx].Writes())
-				contig = idx + 1
 				continue
 			}
 			if !valid {
@@ -158,15 +151,19 @@ func (e *Executor) ExecuteBlock(eng exec.Engine, db *state.DB, txs []*types.Tran
 // validate re-resolves a speculation's recorded reads against the
 // current committed state. Version equality implies value equality
 // (committed write sets are never replaced), so a fully matching read
-// set means the execution already produced the serial outcome. An
-// unbounded scan has no per-key records; it is valid only if the whole
-// prefix was already final when the speculation ran.
-func (e *Executor) validate(mv *state.MVStore, v *state.TxView, contigAtExec int) bool {
-	if v.Scanned() && contigAtExec < v.Tx() {
-		return false
-	}
+// set means the execution already produced the serial outcome. Range
+// scans carry their span and the observed overlapping writes, so they
+// re-validate by overlap: only a committed write that lands inside the
+// span can fail them — a scan-heavy transaction no longer waits for its
+// whole prefix to be final before it can commit.
+func (e *Executor) validate(mv *state.MVStore, v *state.TxView) bool {
 	for _, r := range v.Reads() {
 		if _, ver := mv.Read(r.Key, v.Tx()); ver != r.Version {
+			return false
+		}
+	}
+	for _, rr := range v.Ranges() {
+		if !mv.RangeUnchanged(v.Tx(), rr) {
 			return false
 		}
 	}

@@ -1,0 +1,198 @@
+package parallel
+
+import (
+	"fmt"
+	"testing"
+
+	"blockbench/internal/exec"
+	"blockbench/internal/kvstore"
+	"blockbench/internal/state"
+	"blockbench/internal/types"
+)
+
+// scanEngine is a minimal engine for exercising range-scan validation:
+// "put" writes one key into the transaction's contract namespace,
+// "scansum" range-scans the "scan" namespace and writes the sum to the
+// "out" namespace.
+type scanEngine struct{}
+
+func (scanEngine) Execute(db *state.DB, tx *types.Transaction, blockNum uint64) *types.Receipt {
+	switch tx.Method {
+	case "put":
+		db.SetState(tx.Contract, tx.Args[0], tx.Args[1])
+	case "scansum":
+		var sum uint64
+		db.IterateState("scan", func(_, v []byte) bool { sum += types.U64(v); return true })
+		db.SetState("out", tx.Args[0], types.U64Bytes(sum))
+	}
+	return &types.Receipt{TxHash: tx.Hash(), BlockNumber: blockNum, OK: true}
+}
+
+func (scanEngine) Query(*state.DB, string, string, [][]byte) ([]byte, error) { return nil, nil }
+func (scanEngine) Contracts() []string                                       { return nil }
+
+func scanBase(t *testing.T) *state.DB {
+	t.Helper()
+	b, err := state.NewTrieBackend(kvstore.NewMem(), types.ZeroHash, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := state.NewDB(b)
+	for i := 0; i < 8; i++ {
+		db.SetState("scan", []byte(fmt.Sprintf("row%02d", i)), types.U64Bytes(uint64(i)))
+	}
+	if _, err := db.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestScanIgnoresDisjointWriters is the point of span-based range
+// validation: a scan-heavy transaction sequenced after writers that
+// touch other namespaces must commit in the first round with zero
+// conflicts — under the old whole-prefix rule it would have re-executed
+// just because it scanned.
+func TestScanIgnoresDisjointWriters(t *testing.T) {
+	db := scanBase(t)
+	txs := []*types.Transaction{
+		{Nonce: 0, Contract: "other", Method: "put", Args: [][]byte{[]byte("x"), []byte("1")}},
+		{Nonce: 1, Contract: "other", Method: "put", Args: [][]byte{[]byte("y"), []byte("2")}},
+		{Nonce: 2, Contract: "scan", Method: "scansum", Args: [][]byte{[]byte("res")}},
+	}
+	ex := New(4)
+	ex.ExecuteBlock(scanEngine{}, db, txs, 1)
+	c := ex.Counters()
+	if c["exec.parallel.conflicts"] != 0 || c["exec.parallel.reexecs"] != 0 {
+		t.Fatalf("disjoint writers invalidated a range scan: conflicts=%d reexecs=%d",
+			c["exec.parallel.conflicts"], c["exec.parallel.reexecs"])
+	}
+	// 0+1+...+7 = 28.
+	if got := types.U64(db.GetState("out", []byte("res"))); got != 28 {
+		t.Fatalf("scan sum = %d, want 28", got)
+	}
+}
+
+// TestScanInvalidatedByOverlappingWriter: a committed write inside the
+// scanned span must fail validation and re-execute the scanner, whose
+// final output then includes the write (the serial outcome).
+func TestScanInvalidatedByOverlappingWriter(t *testing.T) {
+	db := scanBase(t)
+	txs := []*types.Transaction{
+		{Nonce: 0, Contract: "scan", Method: "put", Args: [][]byte{[]byte("row99"), types.U64Bytes(100)}},
+		{Nonce: 1, Contract: "scan", Method: "scansum", Args: [][]byte{[]byte("res")}},
+	}
+	ex := New(4)
+	ex.ExecuteBlock(scanEngine{}, db, txs, 1)
+	if c := ex.Counters(); c["exec.parallel.conflicts"] == 0 {
+		t.Fatal("overlapping writer did not invalidate the range scan")
+	}
+	if got := types.U64(db.GetState("out", []byte("res"))); got != 128 {
+		t.Fatalf("scan sum = %d, want 128 (base 28 + in-block 100)", got)
+	}
+}
+
+// TestScanHeavyMatchesSerial runs a mixed block — interleaved scanners
+// over one namespace, writers inside and outside it — at several worker
+// counts and requires the committed root to match serial execution
+// byte for byte.
+func TestScanHeavyMatchesSerial(t *testing.T) {
+	mkTxs := func() []*types.Transaction {
+		var txs []*types.Transaction
+		for i := 0; i < 24; i++ {
+			var tx *types.Transaction
+			switch i % 4 {
+			case 0: // writer inside the scanned namespace
+				tx = &types.Transaction{Contract: "scan", Method: "put",
+					Args: [][]byte{[]byte(fmt.Sprintf("row%02d", i%8)), types.U64Bytes(uint64(i))}}
+			case 1, 2: // writers outside it
+				tx = &types.Transaction{Contract: "other", Method: "put",
+					Args: [][]byte{[]byte(fmt.Sprintf("k%02d", i)), types.U64Bytes(uint64(i))}}
+			default: // scanner
+				tx = &types.Transaction{Contract: "scan", Method: "scansum",
+					Args: [][]byte{[]byte(fmt.Sprintf("res%02d", i))}}
+			}
+			tx.Nonce = uint64(i)
+			txs = append(txs, tx)
+		}
+		return txs
+	}
+
+	serialDB := scanBase(t)
+	for _, tx := range mkTxs() {
+		scanEngine{}.Execute(serialDB, tx, 2)
+	}
+	serialRoot, err := serialDB.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{2, 4, 8} {
+		parDB := scanBase(t)
+		ex := New(workers)
+		ex.ExecuteBlock(scanEngine{}, parDB, mkTxs(), 2)
+		parRoot, err := parDB.Commit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parRoot != serialRoot {
+			t.Fatalf("workers=%d: root %x diverges from serial %x", workers, parRoot, serialRoot)
+		}
+	}
+}
+
+// TestParallelLSMFlatMatchesMemTrie is the storage-stack determinism
+// contract from the other side: the same blocks executed at workers=4
+// through the flat-fronted trie over the LSM engine must commit the
+// same roots as serial execution over a plain in-memory trie.
+func TestParallelLSMFlatMatchesMemTrie(t *testing.T) {
+	evm, err := exec.NewEVMEngine(exec.MemModel{}, "ycsb", "smallbank")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	memB, err := state.NewTrieBackend(kvstore.NewMem(), types.ZeroHash, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memDB := state.NewDB(memB)
+
+	lsmStore, err := kvstore.OpenLSM(t.TempDir(), kvstore.LSMOptions{MemTableBytes: 1 << 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lsmStore.Close()
+	flat := state.NewFlatState(lsmStore, 1024)
+	cache := state.NewSharedCache(512)
+	lsmRoot := types.ZeroHash
+
+	for block := uint64(1); block <= 3; block++ {
+		txs := adversarialBlock(48)
+
+		for _, tx := range txs {
+			evm.Execute(memDB, tx, block)
+		}
+		serialRoot, err := memDB.Commit()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		fb, err := state.NewFlatBackend(lsmStore, lsmRoot, cache, flat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsmDB := state.NewDB(fb)
+		ex := New(4)
+		ex.ExecuteBlock(evm, lsmDB, txs, block)
+		lsmRoot, err = lsmDB.Commit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsmRoot != serialRoot {
+			t.Fatalf("block %d: lsm/flat workers=4 root %x diverges from mem/trie serial %x",
+				block, lsmRoot, serialRoot)
+		}
+	}
+	if c := flat.Counters(); c["store.flat_hits"] == 0 {
+		t.Fatal("flat layer never served a read during parallel execution")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"blockbench/internal/consensus/pow"
 	"blockbench/internal/exec"
 	"blockbench/internal/kvstore"
+	"blockbench/internal/metrics"
 	"blockbench/internal/state"
 	"blockbench/internal/types"
 )
@@ -21,7 +22,7 @@ func ethereumPreset() *Preset {
 		Kind:          Ethereum,
 		Describe:      "geth v1.4.18: PoW, Patricia-Merkle trie + LRU state cache, EVM",
 		SupportsForks: true,
-		OptionKeys:    execOptionKeys,
+		OptionKeys:    append(append([]string{}, storeOptionKeys...), execOptionKeys...),
 		Fill: func(cfg *Config) error {
 			if cfg.BlockInterval <= 0 {
 				cfg.BlockInterval = 100 * time.Millisecond
@@ -31,6 +32,9 @@ func ethereumPreset() *Preset {
 			}
 			if cfg.CacheEntries == 0 {
 				cfg.CacheEntries = 4096
+			}
+			if err := fillStoreOptions(cfg); err != nil {
+				return err
 			}
 			return fillExecWorkers(cfg)
 		},
@@ -74,20 +78,26 @@ func gethMemModel(*Config) exec.MemModel {
 }
 
 // trieSharedStateFactory is the geth-lineage state organization shared
-// by the Ethereum and Quorum presets: a Patricia-Merkle trie over the
-// node's store with one long-lived LRU per node, shared across block
-// executions — geth's partial in-memory state ("using LRU for
-// eviction").
-func trieSharedStateFactory(cfg *Config, store kvstore.Store) (StateFactory, error) {
+// by the Ethereum, Quorum and Sharded presets: a Patricia-Merkle trie
+// over the node's store with one long-lived LRU node cache per node,
+// shared across block executions — geth's partial in-memory state
+// ("using LRU for eviction") — plus a flat snapshot layer in front of
+// the trie so head-state point reads cost one lookup instead of a
+// nibble walk over ever-deeper history. Roots are computed by the trie
+// alone, so they are byte-identical with or without the flat layer;
+// the layer's hit/miss counters surface as store.flat_* in reports.
+func trieSharedStateFactory(cfg *Config, store kvstore.Store) (StateFactory, []metrics.CounterProvider, error) {
 	var cache *state.SharedCache
 	if cfg.CacheEntries > 0 {
 		cache = state.NewSharedCache(cfg.CacheEntries)
 	}
-	return func(root types.Hash) (*state.DB, error) {
-		b, err := state.NewTrieBackendShared(store, root, cache)
+	flat := state.NewFlatState(store, cfg.CacheEntries)
+	factory := func(root types.Hash) (*state.DB, error) {
+		b, err := state.NewFlatBackend(store, root, cache, flat)
 		if err != nil {
 			return nil, err
 		}
 		return state.NewDB(b), nil
-	}, nil
+	}
+	return factory, []metrics.CounterProvider{flat}, nil
 }

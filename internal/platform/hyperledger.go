@@ -8,6 +8,7 @@ import (
 	"blockbench/internal/consensus/pbft"
 	"blockbench/internal/exec"
 	"blockbench/internal/kvstore"
+	"blockbench/internal/metrics"
 	"blockbench/internal/state"
 	"blockbench/internal/types"
 )
@@ -42,14 +43,14 @@ func hyperledgerPreset() *Preset {
 		NewEngine: func(cfg *Config, _ exec.MemModel) (exec.Engine, error) {
 			return exec.NewNativeEngine(cfg.Contracts...)
 		},
-		NewStateFactory: func(cfg *Config, store kvstore.Store) (StateFactory, error) {
+		NewStateFactory: func(cfg *Config, store kvstore.Store) (StateFactory, []metrics.CounterProvider, error) {
 			// Bucket tree keeps no versions: one long-lived DB per node.
 			b, err := state.NewBucketBackend(store, bmt.Options{})
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			db := state.NewDB(b)
-			return func(types.Hash) (*state.DB, error) { return db, nil }, nil
+			return func(types.Hash) (*state.DB, error) { return db, nil }, nil, nil
 		},
 		NewConsensus: func(cfg *Config, _ *Env) func(consensus.Context) consensus.Engine {
 			return func(ctx consensus.Context) consensus.Engine {

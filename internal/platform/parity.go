@@ -7,6 +7,7 @@ import (
 	"blockbench/internal/consensus/poa"
 	"blockbench/internal/exec"
 	"blockbench/internal/kvstore"
+	"blockbench/internal/metrics"
 	"blockbench/internal/state"
 	"blockbench/internal/types"
 )
@@ -22,7 +23,7 @@ func parityPreset() *Preset {
 		Describe:      "Parity v1.6.0: PoA, state pinned in memory, EVM, server-side signing",
 		ServerSigns:   true,
 		SupportsForks: true,
-		OptionKeys:    execOptionKeys,
+		OptionKeys:    append(append([]string{}, storeOptionKeys...), execOptionKeys...),
 		Fill: func(cfg *Config) error {
 			if cfg.StepDuration <= 0 {
 				cfg.StepDuration = 40 * time.Millisecond
@@ -33,26 +34,34 @@ func parityPreset() *Preset {
 			if cfg.ParityMemCap == 0 {
 				cfg.ParityMemCap = 256 << 20
 			}
+			if err := fillStoreOptions(cfg); err != nil {
+				return err
+			}
 			return fillExecWorkers(cfg)
 		},
 		// Parity: ~135 B per element (13 GB at 100M), at 1/100 scale.
 		MemModel: func(*Config) exec.MemModel {
 			return exec.MemModel{Base: 6 << 20, Factor: 17, Cap: 320 << 20}
 		},
-		OpenStore: func(cfg *Config, _ int) (kvstore.Store, error) {
+		OpenStore: func(cfg *Config, i int) (kvstore.Store, error) {
 			// "In Parity, the entire block content is kept in memory" — a
 			// capped in-memory store; exhausting it is the paper's OOM 'X'.
+			// -popt store=lsm swaps in the shared disk-backed policy to
+			// measure the pinned-memory model against bounded memory.
+			if cfg.StoreBackend == "lsm" {
+				return defaultOpenStore(cfg, i)
+			}
 			return kvstore.NewMemCapped(cfg.ParityMemCap), nil
 		},
 		NewEngine: newEVMEngine,
-		NewStateFactory: func(cfg *Config, store kvstore.Store) (StateFactory, error) {
+		NewStateFactory: func(cfg *Config, store kvstore.Store) (StateFactory, []metrics.CounterProvider, error) {
 			return func(root types.Hash) (*state.DB, error) {
 				b, err := state.NewTrieBackend(store, root, 0)
 				if err != nil {
 					return nil, err
 				}
 				return state.NewDB(b), nil
-			}, nil
+			}, nil, nil
 		},
 		// 5s confirmation / 1s steps, scaled.
 		ConfirmationDepth: func(*Config) uint64 { return 5 },

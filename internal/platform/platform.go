@@ -20,6 +20,7 @@ package platform
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"blockbench/internal/crypto"
@@ -62,6 +63,15 @@ type Config struct {
 	// DataDir switches state storage from in-memory maps to the LSM
 	// engine, one directory per node (IOHeavy disk-usage runs).
 	DataDir string
+	// StoreBackend selects the storage engine explicitly: "mem" (the
+	// default) or "lsm". Exposed as -popt store= on the presets that
+	// share the default storage policy; -popt storedir=DIR sets DataDir
+	// and implies lsm. An LSM run without a DataDir gets an ephemeral
+	// temp directory, removed at Cluster.Close.
+	StoreBackend string
+	// ephemeralData marks DataDir as a temp directory provisioned by
+	// fillStoreOptions; Cluster.Close removes it.
+	ephemeralData bool
 
 	// Ethereum knobs (Quorum shares CacheEntries; its blocks are
 	// batch-bounded like PBFT's, so GasLimit does not apply).
@@ -245,9 +255,15 @@ func (c *Cluster) buildNode(i int, peers []simnet.NodeID, env *Env,
 	}
 	c.engines = append(c.engines, eng)
 
-	factory, err := p.NewStateFactory(cfg, store)
+	factory, stateProviders, err := p.NewStateFactory(cfg, store)
 	if err != nil {
 		return nil, err
+	}
+	c.providers = append(c.providers, stateProviders...)
+	// Stores that count their own traffic (the LSM engine's gets, bloom
+	// skips, flushes, compactions) flow into Report.Counters too.
+	if cp, ok := store.(metrics.CounterProvider); ok {
+		c.providers = append(c.providers, cp)
 	}
 
 	// Per-node registry: verification results are cached per transaction,
@@ -332,10 +348,14 @@ func (c *Cluster) Stop() {
 	c.Net.Close()
 }
 
-// Close releases storage (after Stop).
+// Close releases storage (after Stop) and removes any ephemeral data
+// directory provisioned for a -popt store=lsm run.
 func (c *Cluster) Close() {
 	for _, s := range c.stores {
 		s.Close()
+	}
+	if c.cfg.ephemeralData && c.cfg.DataDir != "" {
+		os.RemoveAll(c.cfg.DataDir)
 	}
 }
 

@@ -27,9 +27,13 @@ func quorumPreset() *Preset {
 		// Raft never forks, but the trie keeps historical roots, so the
 		// ledger's versioned-state queries (analytics Q2) stay available.
 		SupportsForks: true,
-		OptionKeys:    append(append([]string{}, raftOptionKeys...), execOptionKeys...),
+		OptionKeys: append(append(append([]string{}, raftOptionKeys...), storeOptionKeys...),
+			execOptionKeys...),
 		Fill: func(cfg *Config) error {
 			if err := fillRaftConfig(cfg); err != nil {
+				return err
+			}
+			if err := fillStoreOptions(cfg); err != nil {
 				return err
 			}
 			return fillExecWorkers(cfg)

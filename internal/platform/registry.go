@@ -11,6 +11,7 @@ import (
 	"blockbench/internal/crypto"
 	"blockbench/internal/exec"
 	"blockbench/internal/kvstore"
+	"blockbench/internal/metrics"
 	"blockbench/internal/state"
 	"blockbench/internal/types"
 )
@@ -87,8 +88,11 @@ type Preset struct {
 	// NewEngine builds a node's execution engine.
 	NewEngine func(cfg *Config, mem exec.MemModel) (exec.Engine, error)
 	// NewStateFactory builds the per-node state-database factory over the
-	// node's store.
-	NewStateFactory func(cfg *Config, store kvstore.Store) (StateFactory, error)
+	// node's store, plus any per-node counter sources the state layer
+	// owns (the flat snapshot layer's hit/miss counters); providers flow
+	// into Cluster.Counters alongside the consensus and execution
+	// engines.
+	NewStateFactory func(cfg *Config, store kvstore.Store) (StateFactory, []metrics.CounterProvider, error)
 	// GasLimit is the ledger's block gas limit (0 = unbounded). Optional.
 	GasLimit func(cfg *Config) uint64
 	// ConfirmationDepth hides the newest blocks from pollers until buried
@@ -197,9 +201,13 @@ func (p *Preset) checkOptions(opts map[string]string) error {
 }
 
 // defaultOpenStore is the shared storage policy: in-memory maps, or the
-// LSM engine (one directory per node) when DataDir is set.
+// LSM engine (one directory per node) when DataDir is set — either
+// directly (IOHeavy disk-usage runs) or through -popt store=lsm /
+// storedir= (fillStoreOptions, which provisions an ephemeral DataDir
+// when none was given). -popt store=mem forces the in-memory map even
+// with a DataDir.
 func defaultOpenStore(cfg *Config, i int) (kvstore.Store, error) {
-	if cfg.DataDir == "" {
+	if cfg.StoreBackend == "mem" || cfg.DataDir == "" {
 		return kvstore.NewMem(), nil
 	}
 	return kvstore.OpenLSM(filepath.Join(cfg.DataDir, fmt.Sprintf("node-%d", i)), kvstore.LSMOptions{})

@@ -33,10 +33,13 @@ func shardedPreset() *Preset {
 		// Per-shard Raft never forks, but the trie keeps historical
 		// roots for versioned-state queries, as on Quorum.
 		SupportsForks: true,
-		OptionKeys: append(append([]string{"shards", "partitioner", "bounds"}, raftOptionKeys...),
-			execOptionKeys...),
+		OptionKeys: append(append(append([]string{"shards", "partitioner", "bounds"},
+			raftOptionKeys...), storeOptionKeys...), execOptionKeys...),
 		Fill: func(cfg *Config) error {
 			if err := fillRaftConfig(cfg); err != nil {
+				return err
+			}
+			if err := fillStoreOptions(cfg); err != nil {
 				return err
 			}
 			if err := fillExecWorkers(cfg); err != nil {

@@ -1,0 +1,53 @@
+package platform
+
+import (
+	"fmt"
+	"os"
+)
+
+// storeOptionKeys are the generic -popt keys shared by every preset
+// whose storage engine is selectable (ethereum, parity, quorum,
+// sharded): store=mem|lsm picks the engine, storedir=DIR roots the LSM
+// directories (implying store=lsm). Hyperledger keeps its fixed
+// RocksDB-modelled default and takes neither.
+var storeOptionKeys = []string{"store", "storedir"}
+
+// fillStoreOptions folds -popt store= / storedir= into the typed
+// Config fields and provisions an ephemeral data directory for an LSM
+// run that did not name one. The temp directory is flagged so
+// Cluster.Close removes it; an explicit storedir (or DataDir) is the
+// caller's to keep.
+func fillStoreOptions(cfg *Config) error {
+	if v, ok := cfg.Options["store"]; ok {
+		switch v {
+		case "mem", "lsm":
+			cfg.StoreBackend = v
+		default:
+			return fmt.Errorf("platform: %s: -popt store=%q: want mem or lsm", cfg.Kind, v)
+		}
+	}
+	if v, ok := cfg.Options["storedir"]; ok {
+		if v == "" {
+			return fmt.Errorf("platform: %s: -popt storedir=: empty directory", cfg.Kind)
+		}
+		if cfg.StoreBackend == "mem" {
+			return fmt.Errorf("platform: %s: -popt storedir=%q conflicts with store=mem", cfg.Kind, v)
+		}
+		cfg.DataDir = v
+		cfg.StoreBackend = "lsm"
+	}
+	switch cfg.StoreBackend {
+	case "", "mem", "lsm":
+	default:
+		return fmt.Errorf("platform: %s: StoreBackend %q: want mem or lsm", cfg.Kind, cfg.StoreBackend)
+	}
+	if cfg.StoreBackend == "lsm" && cfg.DataDir == "" {
+		dir, err := os.MkdirTemp("", "blockbench-lsm-")
+		if err != nil {
+			return fmt.Errorf("platform: %s: provisioning LSM data dir: %w", cfg.Kind, err)
+		}
+		cfg.DataDir = dir
+		cfg.ephemeralData = true
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package state
 
 import (
+	"bytes"
 	"sync"
 
 	"blockbench/internal/bmt"
@@ -89,6 +90,20 @@ func (b *TrieBackend) Commit() (types.Hash, error) { return b.trie.Commit() }
 // Iterate implements Backend (ascending key order).
 func (b *TrieBackend) Iterate(fn func(k, v []byte) bool) error { return b.trie.Iterate(fn) }
 
+// IterateRange implements Backend. The trie walk is in ascending key
+// order, so the scan stops as soon as it passes end.
+func (b *TrieBackend) IterateRange(start, end []byte, fn func(k, v []byte) bool) error {
+	return b.trie.Iterate(func(k, v []byte) bool {
+		if start != nil && bytes.Compare(k, start) < 0 {
+			return true
+		}
+		if end != nil && bytes.Compare(k, end) >= 0 {
+			return false
+		}
+		return fn(k, v)
+	})
+}
+
 // MemBytes implements Backend.
 func (b *TrieBackend) MemBytes() int64 { return b.store.Stats().MemBytes }
 
@@ -127,6 +142,20 @@ func (b *BucketBackend) Commit() (types.Hash, error) { return b.tree.Commit() }
 // Iterate implements Backend (bucket order, not key order — matching the
 // real system's unordered bucket layout).
 func (b *BucketBackend) Iterate(fn func(k, v []byte) bool) error { return b.tree.Iterate(fn) }
+
+// IterateRange implements Backend. Bucket order gives no early-stop
+// opportunity; the full walk is filtered to the span.
+func (b *BucketBackend) IterateRange(start, end []byte, fn func(k, v []byte) bool) error {
+	return b.tree.Iterate(func(k, v []byte) bool {
+		if start != nil && bytes.Compare(k, start) < 0 {
+			return true
+		}
+		if end != nil && bytes.Compare(k, end) >= 0 {
+			return true
+		}
+		return fn(k, v)
+	})
+}
 
 // MemBytes implements Backend.
 func (b *BucketBackend) MemBytes() int64 { return b.store.Stats().MemBytes }

@@ -1,0 +1,205 @@
+package state
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"blockbench/internal/kvstore"
+	"blockbench/internal/lru"
+	"blockbench/internal/types"
+)
+
+// Flat-state snapshot layer (geth's "snapshot" acceleration structure):
+// a flat key→value map kept in front of the Patricia-Merkle trie, so
+// head-state point reads cost one map/store lookup instead of a nibble
+// walk proportional to trie depth. The trie stays authoritative — root
+// computation and historical reads still walk nibbles — the flat layer
+// only short-circuits reads anchored at the current head root.
+//
+// Coherence: the layer is anchored at one state root. At every backend
+// commit, Advance folds the block's write-set in and moves the anchor
+// to the new root. A commit whose parent is not the anchor (a fork
+// block, or a node executing a side chain) resets the layer and
+// re-anchors at that commit — correctness never depends on the flat
+// content, so resets only cost warm-up misses.
+//
+// Entries are persisted write-through into the same kvstore.Store that
+// holds the trie nodes, under generation-prefixed keys ("f:<gen>:…"), so
+// the hot set survives beyond the in-memory LRU without unbounded
+// memory, and a reset invalidates every persisted entry in O(1) by
+// bumping the generation.
+
+// FlatState is one node's flat snapshot layer. Safe for concurrent use.
+type FlatState struct {
+	mu      sync.Mutex
+	store   kvstore.Store
+	cache   *lru.Cache
+	entries int
+	root    types.Hash
+	gen     uint64
+
+	hits, misses, stale, resets uint64
+}
+
+// NewFlatState creates a flat layer over store with an in-memory LRU of
+// at most entries values (entries <= 0 picks a small default).
+func NewFlatState(store kvstore.Store, entries int) *FlatState {
+	if entries <= 0 {
+		entries = 1024
+	}
+	return &FlatState{store: store, cache: lru.New(entries), entries: entries}
+}
+
+func (f *FlatState) flatKey(key string) []byte {
+	b := make([]byte, 0, 10+len(key))
+	b = append(b, 'f', ':')
+	var g [8]byte
+	binary.BigEndian.PutUint64(g[:], f.gen)
+	b = append(b, g[:]...)
+	return append(b, key...)
+}
+
+// Get serves a point read if the layer is anchored at root and knows the
+// key; ok=false sends the caller down the trie walk. Values are shared
+// (read-only by convention, like trie reads).
+func (f *FlatState) Get(root types.Hash, key []byte) ([]byte, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if root != f.root {
+		f.stale++
+		return nil, false
+	}
+	k := string(key)
+	if v, ok := f.cache.Get(k); ok {
+		f.hits++
+		return v, true
+	}
+	v, ok, err := f.store.Get(f.flatKey(k))
+	if err != nil || !ok {
+		// Absence here does not mean absence in state (the key may simply
+		// never have been written since the layer was anchored), so the
+		// caller must fall through to the trie.
+		f.misses++
+		return nil, false
+	}
+	f.cache.Put(k, v)
+	f.hits++
+	return v, true
+}
+
+// Advance folds a committed block's write-set into the layer and moves
+// the anchor from parent to root. Re-committing the block the layer is
+// already anchored at is a no-op; a commit from any other parent resets
+// the layer (new generation, cold LRU) and re-anchors at root.
+func (f *FlatState) Advance(parent, root types.Hash, writes map[string][]byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if root == f.root {
+		return
+	}
+	if parent != f.root {
+		f.gen++
+		f.cache = lru.New(f.entries)
+		f.resets++
+	}
+	for k, v := range writes {
+		if v == nil {
+			f.cache.Remove(k)
+			f.store.Delete(f.flatKey(k))
+			continue
+		}
+		f.cache.Put(k, v)
+		// Persistence is best-effort: on a failed write the entry is just
+		// absent from the flat layer and reads fall through to the trie.
+		f.store.Put(f.flatKey(k), v)
+	}
+	f.root = root
+}
+
+// Root returns the state root the layer is currently anchored at.
+func (f *FlatState) Root() types.Hash {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.root
+}
+
+// Counters implements metrics.CounterProvider.
+func (f *FlatState) Counters() map[string]uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return map[string]uint64{
+		"store.flat_hits":   f.hits,
+		"store.flat_misses": f.misses + f.stale,
+		"store.flat_resets": f.resets,
+	}
+}
+
+// FlatBackend is a TrieBackend with the flat layer in front: point reads
+// try the flat snapshot first and only walk the trie on a miss, writes
+// go to the trie and are captured for the flat layer, and Commit
+// advances the layer with the accumulated write-set. Roots are computed
+// by the trie alone, so they are byte-identical with or without the
+// flat layer.
+type FlatBackend struct {
+	trie   *TrieBackend
+	flat   *FlatState
+	root   types.Hash // root this backend is reading at
+	writes map[string][]byte
+}
+
+// NewFlatBackend opens a trie backend at root with flat in front.
+func NewFlatBackend(store kvstore.Store, root types.Hash, cache *SharedCache, flat *FlatState) (*FlatBackend, error) {
+	tb, err := NewTrieBackendShared(store, root, cache)
+	if err != nil {
+		return nil, err
+	}
+	return &FlatBackend{trie: tb, flat: flat, root: root, writes: make(map[string][]byte)}, nil
+}
+
+// Get implements Backend.
+func (b *FlatBackend) Get(key []byte) ([]byte, error) {
+	if v, ok := b.flat.Get(b.root, key); ok {
+		return v, nil
+	}
+	return b.trie.Get(key)
+}
+
+// Put implements Backend.
+func (b *FlatBackend) Put(key, value []byte) error {
+	b.writes[string(key)] = value
+	return b.trie.Put(key, value)
+}
+
+// Delete implements Backend.
+func (b *FlatBackend) Delete(key []byte) error {
+	b.writes[string(key)] = nil
+	return b.trie.Delete(key)
+}
+
+// Commit implements Backend: the trie computes the root, then the flat
+// layer advances to it with this backend's write-set.
+func (b *FlatBackend) Commit() (types.Hash, error) {
+	root, err := b.trie.Commit()
+	if err != nil {
+		return root, err
+	}
+	b.flat.Advance(b.root, root, b.writes)
+	b.root = root
+	b.writes = make(map[string][]byte)
+	return root, nil
+}
+
+// Iterate implements Backend (trie order — the flat layer holds no
+// authority over enumeration).
+func (b *FlatBackend) Iterate(fn func(k, v []byte) bool) error { return b.trie.Iterate(fn) }
+
+// IterateRange implements Backend.
+func (b *FlatBackend) IterateRange(start, end []byte, fn func(k, v []byte) bool) error {
+	return b.trie.IterateRange(start, end, fn)
+}
+
+// MemBytes implements Backend.
+func (b *FlatBackend) MemBytes() int64 { return b.trie.MemBytes() }
+
+// NodesWritten exposes trie write amplification for the IOHeavy report.
+func (b *FlatBackend) NodesWritten() uint64 { return b.trie.NodesWritten() }

@@ -1,0 +1,170 @@
+package state
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"blockbench/internal/kvstore"
+	"blockbench/internal/types"
+)
+
+// TestFlatBackendRootsMatchTrie is the coherence contract: the same
+// block sequence committed through a plain trie over a Mem store and
+// through the flat-fronted trie over the LSM engine must produce
+// byte-identical state roots at every block, and identical reads when
+// reopened at any committed root.
+func TestFlatBackendRootsMatchTrie(t *testing.T) {
+	memStore := kvstore.NewMem()
+	defer memStore.Close()
+	lsmStore, err := kvstore.OpenLSM(t.TempDir(), kvstore.LSMOptions{MemTableBytes: 1 << 12, SyncBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lsmStore.Close()
+
+	trieB, err := NewTrieBackend(memStore, types.ZeroHash, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trieDB := NewDB(trieB)
+
+	flat := NewFlatState(lsmStore, 512)
+	cache := NewSharedCache(256)
+	flatRoot := types.ZeroHash
+	newFlatDB := func(root types.Hash) *DB {
+		fb, err := NewFlatBackend(lsmStore, root, cache, flat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewDB(fb)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	var roots []types.Hash
+	for block := 0; block < 20; block++ {
+		flatDB := newFlatDB(flatRoot)
+		for i := 0; i < 30; i++ {
+			k := []byte(fmt.Sprintf("acct-%03d", rng.Intn(120)))
+			if rng.Intn(8) == 0 {
+				trieDB.DeleteState("c", k)
+				flatDB.DeleteState("c", k)
+				continue
+			}
+			v := []byte(fmt.Sprintf("bal-%d-%d", block, i))
+			trieDB.SetState("c", k, v)
+			flatDB.SetState("c", k, v)
+		}
+		trieRoot, err := trieDB.Commit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr, err := flatDB.Commit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr != trieRoot {
+			t.Fatalf("block %d: roots diverge: trie %x, flat/lsm %x", block, trieRoot, fr)
+		}
+		flatRoot = fr
+		roots = append(roots, fr)
+	}
+
+	// Reads at the head root agree between the two stacks.
+	headDB := newFlatDB(flatRoot)
+	for i := 0; i < 120; i++ {
+		k := []byte(fmt.Sprintf("acct-%03d", i))
+		if got, want := headDB.GetState("c", k), trieDB.GetState("c", k); string(got) != string(want) {
+			t.Fatalf("head read %s: flat/lsm %q, trie %q", k, got, want)
+		}
+	}
+	// Historical roots stay readable (the flat layer must not serve
+	// entries anchored at a different root).
+	histDB := newFlatDB(roots[4])
+	if histDB == nil {
+		t.Fatal("historical open failed")
+	}
+	c := flat.Counters()
+	if c["store.flat_hits"] == 0 {
+		t.Fatal("flat layer never served a head read")
+	}
+}
+
+// TestFlatStateAnchoring pins the layer's coherence rules: reads at a
+// non-anchor root miss, a replayed commit is a no-op, and a commit from
+// a different parent resets the layer.
+func TestFlatStateAnchoring(t *testing.T) {
+	store := kvstore.NewMem()
+	defer store.Close()
+	f := NewFlatState(store, 16)
+
+	rootA := types.Hash{1}
+	rootB := types.Hash{2}
+	f.Advance(types.ZeroHash, rootA, map[string][]byte{"k": []byte("va")})
+
+	if v, ok := f.Get(rootA, []byte("k")); !ok || string(v) != "va" {
+		t.Fatalf("anchored read = %q,%v", v, ok)
+	}
+	if _, ok := f.Get(rootB, []byte("k")); ok {
+		t.Fatal("read at foreign root served from flat layer")
+	}
+
+	// Replay of the anchored commit: no reset, content intact.
+	f.Advance(types.ZeroHash, rootA, map[string][]byte{"k": []byte("stale")})
+	if v, _ := f.Get(rootA, []byte("k")); string(v) != "va" {
+		t.Fatalf("replayed commit mutated the layer: %q", v)
+	}
+
+	// Fork: a commit whose parent is not the anchor resets the layer.
+	f.Advance(rootB, types.Hash{3}, map[string][]byte{"k2": []byte("vb")})
+	if _, ok := f.Get(rootA, []byte("k")); ok {
+		t.Fatal("pre-fork entry survived reset")
+	}
+	if v, ok := f.Get(types.Hash{3}, []byte("k2")); !ok || string(v) != "vb" {
+		t.Fatalf("post-fork write not served: %q,%v", v, ok)
+	}
+	c := f.Counters()
+	if c["store.flat_resets"] != 1 {
+		t.Fatalf("resets = %d, want 1", c["store.flat_resets"])
+	}
+	// The pre-fork persisted entry is invisible under the new generation
+	// even though it is still in the store.
+	if _, ok := f.Get(types.Hash{3}, []byte("k")); ok {
+		t.Fatal("old-generation persisted entry leaked across reset")
+	}
+}
+
+// TestFlatStateDeletionShadows ensures a deleted key stops being served
+// (absence must fall through to the trie, never claim presence).
+func TestFlatStateDeletionShadows(t *testing.T) {
+	store := kvstore.NewMem()
+	defer store.Close()
+	f := NewFlatState(store, 16)
+	r1, r2 := types.Hash{1}, types.Hash{2}
+	f.Advance(types.ZeroHash, r1, map[string][]byte{"k": []byte("v")})
+	f.Advance(r1, r2, map[string][]byte{"k": nil})
+	if _, ok := f.Get(r2, []byte("k")); ok {
+		t.Fatal("deleted key still served by flat layer")
+	}
+}
+
+// TestFlatStateLRUSpill: entries evicted from the in-memory LRU are
+// still served from the write-through store copy.
+func TestFlatStateLRUSpill(t *testing.T) {
+	store := kvstore.NewMem()
+	defer store.Close()
+	f := NewFlatState(store, 4)
+	root := types.Hash{9}
+	writes := make(map[string][]byte)
+	for i := 0; i < 64; i++ {
+		writes[fmt.Sprintf("k%02d", i)] = []byte(fmt.Sprintf("v%d", i))
+	}
+	f.Advance(types.ZeroHash, root, writes)
+	for i := 0; i < 64; i++ {
+		k := fmt.Sprintf("k%02d", i)
+		v, ok := f.Get(root, []byte(k))
+		if !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("spilled entry %s not served: %q,%v", k, v, ok)
+		}
+	}
+}

@@ -34,6 +34,24 @@ type ReadRecord struct {
 	Version int
 }
 
+// RangeRecord is one recorded range scan of a speculative execution:
+// the span [Start, End) (empty End = unbounded) and the in-block writes
+// the scan observed inside it, as key → writer version. The base state
+// is frozen for the block and committed write sets are final, so if the
+// same span resolves to the same observation map at validation time,
+// the merged scan output is identical and the speculation stands —
+// writes outside the span can never invalidate it.
+type RangeRecord struct {
+	Start, End string
+	Obs        map[string]int
+}
+
+// strInRange reports whether k lies in [start, end); an empty end is
+// unbounded (an empty start is naturally unbounded: "" <= every key).
+func strInRange(k, start, end string) bool {
+	return k >= start && (end == "" || k < end)
+}
+
 // mvWrite is one committed in-block write: transaction `tx` wrote
 // `value` (nil = deletion) to the key. Entries per key are kept in
 // ascending tx order.
@@ -134,30 +152,67 @@ func (m *MVStore) ApplyTo(db *DB) {
 	}
 }
 
-// visibleTo snapshots the committed writes visible to transaction tx:
-// the latest committed value per key from writers < tx (nil values are
-// deletions and shadow the base entry).
-func (m *MVStore) visibleTo(tx int) map[string][]byte {
+// visibleRange snapshots the committed writes visible to transaction tx
+// inside [start, end): the latest committed value per key from writers
+// < tx (nil values are deletions and shadow the base entry), plus the
+// observation map (key → writer version) that makes the scan
+// re-validatable.
+func (m *MVStore) visibleRange(tx int, start, end string) (vals map[string][]byte, obs map[string]int) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	out := make(map[string][]byte)
+	vals = make(map[string][]byte)
+	obs = make(map[string]int)
 	for k, ws := range m.writes {
+		if !strInRange(k, start, end) {
+			continue
+		}
 		i := sort.Search(len(ws), func(i int) bool { return ws[i].tx >= tx })
 		if i > 0 {
-			out[k] = ws[i-1].value
+			vals[k] = ws[i-1].value
+			obs[k] = ws[i-1].tx
 		}
 	}
-	return out
+	return vals, obs
+}
+
+// RangeUnchanged re-resolves a recorded range scan for transaction tx:
+// it holds iff the committed writes now visible inside the span are
+// exactly the recorded observations (same keys, same writer versions).
+func (m *MVStore) RangeUnchanged(tx int, rr RangeRecord) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	matched := 0
+	for k, ws := range m.writes {
+		if !strInRange(k, rr.Start, rr.End) {
+			continue
+		}
+		i := sort.Search(len(ws), func(i int) bool { return ws[i].tx >= tx })
+		if i == 0 {
+			continue // no writer below tx for this key, now or at exec time
+		}
+		ver, ok := rr.Obs[k]
+		if !ok || ver != ws[i-1].tx {
+			return false
+		}
+		matched++
+	}
+	// Committed writes are never retracted, so every recorded observation
+	// must still be present; a shortfall means a key left the span, which
+	// cannot happen — but check for symmetry.
+	return matched == len(rr.Obs)
 }
 
 // baseIterate walks the base state (overlay-merged, like DB iteration)
-// under the base lock.
-func (m *MVStore) baseIterate(fn func(key, value []byte) bool) error {
+// under the base lock, restricted to [start, end).
+func (m *MVStore) baseIterateRange(start, end string, fn func(key, value []byte) bool) error {
 	m.baseMu.Lock()
 	defer m.baseMu.Unlock()
 	db := m.base
 	seen := make(map[string]struct{}, len(db.overlay))
 	for k, v := range db.overlay {
+		if !strInRange(k, start, end) {
+			continue
+		}
 		seen[k] = struct{}{}
 		if v != nil {
 			if !fn([]byte(k), v) {
@@ -165,7 +220,15 @@ func (m *MVStore) baseIterate(fn func(key, value []byte) bool) error {
 			}
 		}
 	}
-	return db.backend.Iterate(func(k, v []byte) bool {
+	var endB []byte
+	if end != "" {
+		endB = []byte(end)
+	}
+	var startB []byte
+	if start != "" {
+		startB = []byte(start)
+	}
+	return db.backend.IterateRange(startB, endB, func(k, v []byte) bool {
 		if _, shadowed := seen[string(k)]; shadowed {
 			return true
 		}
@@ -186,7 +249,7 @@ type TxView struct {
 	reads   []ReadRecord
 	readIdx map[string]struct{}
 	writes  map[string][]byte
-	scanned bool
+	ranges  []RangeRecord
 }
 
 // NewTxView creates the state view for the transaction at in-block
@@ -205,7 +268,7 @@ func (v *TxView) Reset() {
 	v.reads = v.reads[:0]
 	v.readIdx = make(map[string]struct{})
 	v.writes = make(map[string][]byte)
-	v.scanned = false
+	v.ranges = v.ranges[:0]
 }
 
 // Tx returns the view's in-block transaction index.
@@ -217,10 +280,8 @@ func (v *TxView) Reads() []ReadRecord { return v.reads }
 // Writes returns the captured write set (nil values are deletions).
 func (v *TxView) Writes() map[string][]byte { return v.writes }
 
-// Scanned reports whether the execution iterated state wholesale — a
-// read of unbounded footprint that version records cannot cover, so
-// validation must treat it conservatively.
-func (v *TxView) Scanned() bool { return v.scanned }
+// Ranges returns the recorded range scans in observation order.
+func (v *TxView) Ranges() []RangeRecord { return v.ranges }
 
 // Get implements Backend: a versioned read through the MVStore,
 // recorded once per key. The transaction's own writes never reach here
@@ -253,12 +314,20 @@ func (v *TxView) Delete(key []byte) error {
 // meaningful root for a speculative overlay.
 func (v *TxView) Commit() (types.Hash, error) { return types.ZeroHash, nil }
 
-// Iterate implements Backend: committed in-block writes visible to
-// this transaction shadow the base state. The scan is recorded as an
-// unbounded read (see Scanned).
+// Iterate implements Backend as an unbounded range scan.
 func (v *TxView) Iterate(fn func(key, value []byte) bool) error {
-	v.scanned = true
-	shadow := v.mv.visibleTo(v.tx)
+	return v.IterateRange(nil, nil, fn)
+}
+
+// IterateRange implements Backend: committed in-block writes visible to
+// this transaction shadow the base state inside the span. The scan is
+// recorded with its span and observed writer versions, so validation
+// only fails it when an overlapping write landed — disjoint writers
+// never invalidate a range scan.
+func (v *TxView) IterateRange(start, end []byte, fn func(key, value []byte) bool) error {
+	s, e := string(start), string(end)
+	shadow, obs := v.mv.visibleRange(v.tx, s, e)
+	v.ranges = append(v.ranges, RangeRecord{Start: s, End: e, Obs: obs})
 	for k, val := range shadow {
 		if val != nil {
 			if !fn([]byte(k), val) {
@@ -266,7 +335,7 @@ func (v *TxView) Iterate(fn func(key, value []byte) bool) error {
 			}
 		}
 	}
-	return v.mv.baseIterate(func(k, val []byte) bool {
+	return v.mv.baseIterateRange(s, e, func(k, val []byte) bool {
 		if _, shadowed := shadow[string(k)]; shadowed {
 			return true
 		}

@@ -156,13 +156,13 @@ func TestTxViewReset(t *testing.T) {
 	if err := v.Iterate(func(_, _ []byte) bool { return true }); err != nil {
 		t.Fatal(err)
 	}
-	if len(v.Reads()) == 0 || len(v.Writes()) == 0 || !v.Scanned() {
+	if len(v.Reads()) == 0 || len(v.Writes()) == 0 || len(v.Ranges()) == 0 {
 		t.Fatal("setup did not populate the view")
 	}
 	v.Reset()
-	if len(v.Reads()) != 0 || len(v.Writes()) != 0 || v.Scanned() {
-		t.Fatalf("Reset left state: reads=%d writes=%d scanned=%v",
-			len(v.Reads()), len(v.Writes()), v.Scanned())
+	if len(v.Reads()) != 0 || len(v.Writes()) != 0 || len(v.Ranges()) != 0 {
+		t.Fatalf("Reset left state: reads=%d writes=%d ranges=%d",
+			len(v.Reads()), len(v.Writes()), len(v.Ranges()))
 	}
 }
 
@@ -191,8 +191,16 @@ func TestTxViewIterateMergesVersions(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if !v.Scanned() {
-		t.Fatal("Iterate did not mark the view scanned")
+	if len(v.Ranges()) != 1 {
+		t.Fatalf("Iterate recorded %d range records, want 1", len(v.Ranges()))
+	}
+	if rr := v.Ranges()[0]; rr.Start != "" || rr.End != "" {
+		t.Fatalf("full Iterate recorded span [%q, %q), want unbounded", rr.Start, rr.End)
+	}
+	// The scan observed exactly the in-block writes visible to tx 2.
+	if rr := v.Ranges()[0]; len(rr.Obs) != 2 ||
+		rr.Obs[stateKey("c", []byte("a"))] != 0 || rr.Obs[stateKey("c", []byte("x"))] != 0 {
+		t.Fatalf("range observations = %v, want a/x at version 0", rr.Obs)
 	}
 	want := map[string]string{
 		stateKey("c", []byte("a")): "newA",

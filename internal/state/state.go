@@ -23,8 +23,26 @@ type Backend interface {
 	Commit() (types.Hash, error)
 	// Iterate walks all key/value pairs (order backend-defined).
 	Iterate(fn func(key, value []byte) bool) error
+	// IterateRange walks key/value pairs with key in [start, end) (order
+	// backend-defined; nil start/end leave that side unbounded). Range
+	// scans carry their span, which lets versioned views validate them
+	// against overlapping writes instead of any whole-state rule.
+	IterateRange(start, end []byte, fn func(key, value []byte) bool) error
 	// MemBytes reports resident memory attributable to the backend.
 	MemBytes() int64
+}
+
+// PrefixEnd returns the smallest key greater than every key with the
+// given prefix ("" when no such key exists, i.e. an unbounded end).
+func PrefixEnd(prefix string) string {
+	b := []byte(prefix)
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] < 0xff {
+			b[i]++
+			return string(b[:i+1])
+		}
+	}
+	return ""
 }
 
 // ErrInsufficientFunds is returned by Transfer when the sender balance
@@ -155,7 +173,9 @@ func (db *DB) Commit() (types.Hash, error) {
 }
 
 // IterateState walks all keys of one contract namespace in backend order,
-// passing the bare key (namespace prefix stripped).
+// passing the bare key (namespace prefix stripped). The walk is issued as
+// a range scan over [prefix, PrefixEnd(prefix)), so backends only visit
+// the namespace and versioned views can validate the scan by its span.
 func (db *DB) IterateState(contract string, fn func(key, value []byte) bool) error {
 	// Overlay entries shadow backend entries; merge them.
 	prefix := "c:" + contract + ":"
@@ -170,7 +190,11 @@ func (db *DB) IterateState(contract string, fn func(key, value []byte) bool) err
 			}
 		}
 	}
-	return db.backend.Iterate(func(k, v []byte) bool {
+	var end []byte
+	if e := PrefixEnd(prefix); e != "" {
+		end = []byte(e)
+	}
+	return db.backend.IterateRange([]byte(prefix), end, func(k, v []byte) bool {
 		ks := string(k)
 		if len(ks) < len(prefix) || ks[:len(prefix)] != prefix {
 			return true
