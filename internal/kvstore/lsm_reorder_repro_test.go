@@ -1,0 +1,90 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// Repro: a tiered compaction of a middle window (lo > 0) writes the
+// merged run under the highest sequence number; after reopen, loadRuns
+// orders it as the newest run and its stale values shadow newer runs.
+func TestReopenAfterMiddleWindowCompaction(t *testing.T) {
+	dir := t.TempDir()
+	opts := LSMOptions{
+		MemTableBytes: 1 << 20,
+		MaxRuns:       100,
+		Fanout:        2,
+		BudgetFactor:  1,
+		SyncBytes:     -1,
+	}
+	s, err := OpenLSM(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	put := func(k, v string) {
+		if err := s.Put([]byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flush := func() {
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	pad := bytes.Repeat([]byte("x"), 8<<10)
+	// r0 (tier 1): old acct value plus padding.
+	put("acct", "v1")
+	for i := 0; i < 5; i++ {
+		put(fmt.Sprintf("p0-%02d", i), string(pad))
+	}
+	flush()
+	// r1 (tier 1): padding only.
+	for i := 0; i < 5; i++ {
+		put(fmt.Sprintf("p1-%02d", i), string(pad))
+	}
+	flush()
+	// r2 (tier 0): newer acct value.
+	put("acct", "v2")
+	flush()
+	// r3 (tier 2+): pump debt so the [r1, r0] tier-1 window merges.
+	for i := 0; i < 24; i++ {
+		put(fmt.Sprintf("big-%02d", i), string(pad))
+	}
+	flush()
+
+	t.Logf("runs after compaction: %d, compactions=%d", len(s.runs), s.compactions.Load())
+	for i, r := range s.runs {
+		t.Logf("  runs[%d] = %s size=%d", i, r.path, r.size)
+	}
+
+	v, ok, err := s.Get([]byte("acct"))
+	if err != nil || !ok {
+		t.Fatalf("pre-restart get: %v %v", ok, err)
+	}
+	t.Logf("pre-restart acct=%s", v)
+	if string(v) != "v2" {
+		t.Fatalf("pre-restart: got %s want v2", v)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenLSM(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for i, r := range s2.runs {
+		t.Logf("  reopened runs[%d] = %s", i, r.path)
+	}
+	v, ok, err = s2.Get([]byte("acct"))
+	if err != nil || !ok {
+		t.Fatalf("post-restart get: %v %v", ok, err)
+	}
+	if string(v) != "v2" {
+		t.Fatalf("post-restart: got %s want v2 (stale value resurrected)", v)
+	}
+}
