@@ -20,9 +20,15 @@ func init() {
 				Blocks:     d.Int("blocks", 0),
 				TxPerBlock: d.Int("txperblock", 0),
 				Accounts:   d.Int("accounts", 0),
+				Mode:       d.String("mode", ""),
 			}
 			if err := d.Finish(); err != nil {
 				return nil, err
+			}
+			switch a.Mode {
+			case "", "rpc", "indexed":
+			default:
+				return nil, fmt.Errorf("option mode=%q: want rpc or indexed", a.Mode)
 			}
 			return a, nil
 		},
@@ -40,10 +46,16 @@ func init() {
 // round trip per block). Hyperledger has no historical-state API, so the
 // preload runs through the VersionKVStore chaincode and Q2 becomes a
 // single server-side chaincode query — the paper's 10x latency gap.
+// Mode selects the read path (`-wopt mode=`): "rpc" (the default)
+// walks blocks/balances one RPC at a time — the paper's baseline —
+// while "indexed" sends each query to the server's columnar analytics
+// index, which answers the whole range in one round trip. Both paths
+// return identical results.
 type Analytics struct {
-	Blocks     int // preloaded blocks (default 1000)
-	TxPerBlock int // default 3, as in the paper
-	Accounts   int // distinct accounts (default 64, bounded by clients)
+	Blocks     int    // preloaded blocks (default 1000)
+	TxPerBlock int    // default 3, as in the paper
+	Accounts   int    // distinct accounts (default 64, bounded by clients)
+	Mode       string // "rpc" (default) or "indexed"
 
 	hyperledger bool
 	accts       []Address
@@ -105,10 +117,19 @@ func (a *Analytics) Init(c *Cluster, rng *rand.Rand) error {
 // Account returns a preloaded account address (for Q2 targets).
 func (a *Analytics) Account(i int) Address { return a.accts[i%len(a.accts)] }
 
-// Q1 computes the total transaction value in blocks [from, to) through
-// client RPCs and returns the result and the query latency.
+// Q1 computes the total transaction value in blocks [from, to) and
+// returns the result and the query latency. The rpc mode walks one
+// Block RPC per block; the indexed mode issues one server-side sum
+// query.
 func (a *Analytics) Q1(client *Client, from, to uint64) (total uint64, elapsed time.Duration, err error) {
 	start := time.Now()
+	if a.Mode == "indexed" {
+		res, err := client.Analytics(AnalyticsQuery{Op: AnalyticsSum, From: from, To: to})
+		if err != nil {
+			return 0, 0, fmt.Errorf("analytics q1: %w", err)
+		}
+		return res.Value, time.Since(start), nil
+	}
 	for n := from; n < to; n++ {
 		b, err := client.Block(n)
 		if err != nil {
@@ -131,18 +152,38 @@ func (a *Analytics) Q1(client *Client, from, to uint64) (total uint64, elapsed t
 // VersionKVStore chaincode query scans versions server-side.
 func (a *Analytics) Q2(client *Client, acct Address, from, to uint64) (largest uint64, elapsed time.Duration, err error) {
 	start := time.Now()
+	if from >= to {
+		return 0, time.Since(start), nil // empty range: nothing to scan
+	}
+	if a.Mode == "indexed" {
+		op := AnalyticsMaxDelta
+		if a.hyperledger {
+			op = AnalyticsMaxVersion
+		}
+		res, err := client.Analytics(AnalyticsQuery{Op: op, Account: acct, From: from, To: to})
+		if err != nil {
+			return 0, 0, fmt.Errorf("analytics q2: %w", err)
+		}
+		return res.Value, time.Since(start), nil
+	}
 	if a.hyperledger {
 		out, err := client.Query("versionkv", "accountBlockRange",
 			acct.Bytes(), types.U64Bytes(from), types.U64Bytes(to))
 		if err != nil {
 			return 0, 0, fmt.Errorf("analytics q2: %w", err)
 		}
+		if len(out)%8 != 0 {
+			// Versions are fixed 8-byte values: a ragged payload means a
+			// corrupt response, not a short history — failing beats
+			// silently dropping the tail bytes.
+			return 0, 0, fmt.Errorf("analytics q2: malformed accountBlockRange response: %d bytes", len(out))
+		}
 		// Versions arrive newest first, 8 bytes each.
 		var prev uint64
 		for i := 0; i+8 <= len(out); i += 8 {
 			v := types.U64(out[i : i+8])
 			if i > 0 {
-				largest = maxU64(largest, absDiff(prev, v))
+				largest = max(largest, absDiff(prev, v))
 			}
 			prev = v
 		}
@@ -155,7 +196,7 @@ func (a *Analytics) Q2(client *Client, acct Address, from, to uint64) (largest u
 			return 0, 0, fmt.Errorf("analytics q2: block %d: %w", n, err)
 		}
 		if n > from {
-			largest = maxU64(largest, absDiff(prev, bal))
+			largest = max(largest, absDiff(prev, bal))
 		}
 		prev = bal
 	}
@@ -179,11 +220,4 @@ func absDiff(a, b uint64) uint64 {
 		return a - b
 	}
 	return b - a
-}
-
-func maxU64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"time"
 
+	"blockbench/internal/analytics"
 	"blockbench/internal/crypto"
 	"blockbench/internal/exec"
 	"blockbench/internal/node"
@@ -56,6 +57,26 @@ type (
 	MemModel = exec.MemModel
 	// ClusterConfig sizes and tunes a platform deployment.
 	ClusterConfig = platform.Config
+	// AnalyticsQuery is one server-side analytics request (operation,
+	// height range, accounts) served from the node's columnar index.
+	AnalyticsQuery = analytics.Query
+	// AnalyticsResult is an analytics query's answer.
+	AnalyticsResult = analytics.Result
+	// AnalyticsOp names an analytics operation.
+	AnalyticsOp = analytics.Op
+	// AccountStat is one account's aggregated activity in a range.
+	AccountStat = analytics.AccountStat
+)
+
+// The analytics operations: the paper's Q1 (sum) and Q2 (maxdelta on
+// the balance platforms, maxversion on Hyperledger's versioned store)
+// plus the join-shaped counterparty queries.
+const (
+	AnalyticsSum        = analytics.OpSum
+	AnalyticsMaxDelta   = analytics.OpMaxDelta
+	AnalyticsMaxVersion = analytics.OpMaxVersion
+	AnalyticsTopK       = analytics.OpTopK
+	AnalyticsCommon     = analytics.OpCommon
 )
 
 // The built-in platforms: the paper's three systems plus the

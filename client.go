@@ -103,6 +103,13 @@ func (c *Client) Query(contract, method string, args ...[]byte) ([]byte, error) 
 	return c.node.Query(contract, method, args)
 }
 
+// Analytics runs one server-side analytics query at the client's
+// server — the indexed read path behind `-wopt mode=indexed`: the
+// whole historical scan costs a single round trip.
+func (c *Client) Analytics(q AnalyticsQuery) (AnalyticsResult, error) {
+	return c.node.AnalyticsQuery(q)
+}
+
 // Block fetches a full block (analytics Q1 uses one RPC per block).
 func (c *Client) Block(number uint64) (*types.Block, error) {
 	return c.node.Block(number)

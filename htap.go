@@ -1,0 +1,188 @@
+package blockbench
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"blockbench/internal/types"
+	"blockbench/internal/workload"
+)
+
+func init() {
+	workload.MustRegister(workload.Spec{
+		Name:        "htap",
+		Description: "HTAP mix: OLTP value transfers with concurrent server-side analytical scans over committed history",
+		Contracts:   []string{"versionkv"},
+		New: func(opts workload.Options) (any, error) {
+			d := workload.NewDecoder(opts)
+			w := &HTAP{
+				Accounts:      d.Int("accounts", 0),
+				QueryEvery:    d.Int("qevery", 0),
+				Window:        uint64(d.Int("window", 0)),
+				K:             d.Int("k", 0),
+				PreloadBlocks: d.Int("blocks", 0),
+				TxPerBlock:    d.Int("txperblock", 0),
+			}
+			if err := d.Finish(); err != nil {
+				return nil, err
+			}
+			return w, nil
+		},
+	})
+}
+
+// HTAP is the hybrid workload the analytics index exists for: the
+// driver's submit pipeline keeps committing OLTP value transfers while
+// every QueryEvery-th generated operation first runs one synchronous
+// analytical query (rotating sum / max-delta / top-k counterparties)
+// over a trailing window of committed history at the generating
+// client's server. The scans ride the columnar index, so they cost the
+// server microseconds, not a walk over the chain — and the workload
+// measures exactly the interference between the two sides.
+//
+// Requires the analytics index (`-popt index=on`, the default); Init
+// fails fast when it is disabled.
+type HTAP struct {
+	Accounts      int    // OLTP account set (default: all client keys)
+	QueryEvery    int    // one analytical query per this many ops (default 32)
+	Window        uint64 // trailing scan window in blocks (default 256)
+	K             int    // top-k size (default 5)
+	PreloadBlocks int    // seeded history before the run (default 32)
+	TxPerBlock    int    // preload transactions per block (default 3)
+
+	hyperledger bool
+	cluster     *Cluster
+	accts       []Address
+	ops         atomic.Uint64
+	lastHeight  atomic.Uint64 // newest height a query has observed
+	queries     atomic.Uint64
+}
+
+// Name identifies the workload in reports.
+func (w *HTAP) Name() string { return "htap" }
+
+// Contracts lists required contracts (Hyperledger only).
+func (w *HTAP) Contracts() []string { return []string{"versionkv"} }
+
+// Queries returns how many analytical queries succeeded so far.
+func (w *HTAP) Queries() uint64 { return w.queries.Load() }
+
+func (w *HTAP) fill(c *Cluster) {
+	if w.Accounts <= 0 || w.Accounts > len(c.keys) {
+		w.Accounts = len(c.keys)
+	}
+	if w.QueryEvery <= 0 {
+		w.QueryEvery = 32
+	}
+	if w.Window == 0 {
+		w.Window = 256
+	}
+	if w.K <= 0 {
+		w.K = 5
+	}
+	if w.PreloadBlocks <= 0 {
+		w.PreloadBlocks = 32
+	}
+	if w.TxPerBlock <= 0 {
+		w.TxPerBlock = 3
+	}
+}
+
+// Init seeds a small history (so the first scans have a range to
+// cover) and verifies the analytics index is live.
+func (w *HTAP) Init(c *Cluster, rng *rand.Rand) error {
+	w.fill(c)
+	w.cluster = c
+	w.hyperledger = c.Kind() == Hyperledger
+	w.accts = make([]Address, w.Accounts)
+	for i := range w.accts {
+		w.accts[i] = c.keys[i].Address()
+	}
+
+	var ops []Op
+	if w.hyperledger {
+		for i := 0; i < w.Accounts; i++ {
+			ops = append(ops, Op{Contract: "versionkv", Method: "prealloc",
+				Args: [][]byte{w.accts[i].Bytes(), types.U64Bytes(1 << 40)}})
+		}
+	}
+	for b := 0; b < w.PreloadBlocks; b++ {
+		for t := 0; t < w.TxPerBlock; t++ {
+			ops = append(ops, w.transfer(rng))
+		}
+	}
+	if err := c.preloadOps(ops, w.TxPerBlock); err != nil {
+		return err
+	}
+	// Fail fast when the index is off — every analytical op would error.
+	if _, err := c.Client(0).Analytics(AnalyticsQuery{Op: AnalyticsSum, From: 1}); err != nil {
+		return fmt.Errorf("htap needs the analytics index (-popt index=on): %w", err)
+	}
+	return nil
+}
+
+// Next emits the next OLTP transfer; every QueryEvery-th call first
+// runs one synchronous analytical query at the generating client's
+// server, so analytical read latency directly throttles the submit
+// side — the HTAP interference under test.
+func (w *HTAP) Next(clientID int, rng *rand.Rand) Op {
+	if len(w.accts) == 0 {
+		return Op{Value: 1} // Init never ran (SkipInit): degrade, don't panic
+	}
+	n := w.ops.Add(1)
+	if w.cluster != nil && n%uint64(w.QueryEvery) == 0 {
+		w.analyticalQuery(int(n)/w.QueryEvery, clientID, rng)
+	}
+	return w.transfer(rng)
+}
+
+// transfer draws one OLTP value transfer between workload accounts.
+func (w *HTAP) transfer(rng *rand.Rand) Op {
+	from := rng.Intn(len(w.accts))
+	to := (from + 1 + rng.Intn(max(len(w.accts)-1, 1))) % len(w.accts)
+	val := uint64(1 + rng.Intn(1000))
+	if w.hyperledger {
+		return Op{Contract: "versionkv", Method: "sendValue",
+			Args: [][]byte{w.accts[from].Bytes(), w.accts[to].Bytes(), types.U64Bytes(val)}}
+	}
+	return Op{To: w.accts[to], Value: val}
+}
+
+// analyticalQuery runs one scan over the trailing Window of blocks,
+// rotating through the three query shapes. To is left open (0): the
+// server clamps it to its confirmation height, so scans only ever see
+// committed history.
+func (w *HTAP) analyticalQuery(seq, clientID int, rng *rand.Rand) {
+	client := w.cluster.Client(clientID % len(w.cluster.keys))
+	var from uint64 = 1
+	if h := w.lastHeight.Load(); h > w.Window {
+		from = h - w.Window
+	}
+	q := AnalyticsQuery{From: from, K: w.K}
+	switch seq % 3 {
+	case 0:
+		q.Op = AnalyticsSum
+	case 1:
+		q.Op = AnalyticsMaxDelta
+		if w.hyperledger {
+			q.Op = AnalyticsMaxVersion
+		}
+		q.Account = w.accts[rng.Intn(len(w.accts))]
+	case 2:
+		q.Op = AnalyticsTopK
+		q.Account = w.accts[rng.Intn(len(w.accts))]
+	}
+	res, err := client.Analytics(q)
+	if err != nil {
+		return // a crashed/partitioned server: the OLTP side keeps going
+	}
+	w.queries.Add(1)
+	// Advance the window to the newest height this query covered.
+	for {
+		prev := w.lastHeight.Load()
+		if res.Height <= prev || w.lastHeight.CompareAndSwap(prev, res.Height) {
+			return
+		}
+	}
+}

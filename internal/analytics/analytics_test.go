@@ -1,0 +1,439 @@
+package analytics
+
+import (
+	"reflect"
+	"testing"
+
+	"blockbench/internal/kvstore"
+	"blockbench/internal/types"
+)
+
+func addr(b byte) types.Address {
+	var a types.Address
+	a[0] = b
+	a[19] = 1 // never the zero address
+	return a
+}
+
+func transfer(from, to byte, value uint64) *types.Transaction {
+	return &types.Transaction{From: addr(from), To: addr(to), Value: value}
+}
+
+// fakeSource is an in-memory BlockSource: blocks[i] is height i+1.
+type fakeSource struct {
+	blocks []*types.Block
+	rcpts  [][]*types.Receipt
+}
+
+func (f *fakeSource) Height() uint64 { return uint64(len(f.blocks)) }
+
+func (f *fakeSource) GetBlock(n uint64) (*types.Block, bool) {
+	if n < 1 || n > uint64(len(f.blocks)) {
+		return nil, false
+	}
+	return f.blocks[n-1], true
+}
+
+func (f *fakeSource) Receipts(n uint64) []*types.Receipt {
+	if n < 1 || n > uint64(len(f.rcpts)) {
+		return nil
+	}
+	return f.rcpts[n-1]
+}
+
+// add appends one block of transactions, all with receipt ok.
+func (f *fakeSource) add(txs ...*types.Transaction) {
+	n := uint64(len(f.blocks) + 1)
+	rs := make([]*types.Receipt, len(txs))
+	for i := range txs {
+		rs[i] = &types.Receipt{OK: true}
+	}
+	f.blocks = append(f.blocks, &types.Block{
+		Header: types.Header{Number: n, Time: int64(n) * 1000},
+		Txs:    txs,
+	})
+	f.rcpts = append(f.rcpts, rs)
+}
+
+// chainSource builds blocks*txPerBlock deterministic transfers among 8
+// accounts.
+func chainSource(blocks, txPerBlock int) *fakeSource {
+	src := &fakeSource{}
+	for b := 0; b < blocks; b++ {
+		txs := make([]*types.Transaction, txPerBlock)
+		for t := 0; t < txPerBlock; t++ {
+			i := b*txPerBlock + t
+			txs[t] = transfer(byte(i%8), byte((i+1)%8), uint64(1+i%97))
+		}
+		src.add(txs...)
+	}
+	return src
+}
+
+func drainHeights(t *testing.T, it Iterator[Row]) []uint64 {
+	t.Helper()
+	var out []uint64
+	for _, r := range Drain(it) {
+		out = append(out, r.Height)
+	}
+	return out
+}
+
+func TestScanRangeAndZoneSkips(t *testing.T) {
+	src := chainSource(100, 3) // 300 rows
+	ix := NewIndexer(nil, Options{SegmentSize: 32})
+	if err := ix.CatchUp(src); err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.Rows(); got != 300 {
+		t.Fatalf("rows = %d, want 300", got)
+	}
+	if got := ix.Last(); got != 100 {
+		t.Fatalf("last = %d, want 100", got)
+	}
+
+	heights := drainHeights(t, ix.Scan(40, 43))
+	want := []uint64{40, 40, 40, 41, 41, 41, 42, 42, 42}
+	if !reflect.DeepEqual(heights, want) {
+		t.Fatalf("scan [40,43) heights = %v, want %v", heights, want)
+	}
+
+	// A range deep inside the chain must skip the leading sealed
+	// segments via their zone maps.
+	before := ix.zoneSkips.Value()
+	if got := len(Drain(ix.Scan(90, 95))); got != 15 {
+		t.Fatalf("scan [90,95) rows = %d, want 15", got)
+	}
+	if ix.zoneSkips.Value() <= before {
+		t.Fatalf("zone skips did not grow on a range-restricted scan (%d -> %d)",
+			before, ix.zoneSkips.Value())
+	}
+
+	// Full scan covers everything in order.
+	all := drainHeights(t, ix.Scan(0, 0xffffffff))
+	if len(all) != 300 || all[0] != 1 || all[299] != 100 {
+		t.Fatalf("full scan: %d rows, first %d, last %d", len(all), all[0], all[299])
+	}
+}
+
+func TestAccountScanPostings(t *testing.T) {
+	src := &fakeSource{}
+	src.add(transfer(1, 2, 10))
+	src.add(transfer(3, 4, 20))
+	src.add(transfer(1, 3, 30), transfer(2, 1, 40))
+	src.add(transfer(4, 2, 50))
+	ix := NewIndexer(nil, Options{SegmentSize: 2})
+	if err := ix.CatchUp(src); err != nil {
+		t.Fatal(err)
+	}
+
+	rows := Drain(ix.AccountScan(addr(1), 1, 100))
+	if len(rows) != 3 {
+		t.Fatalf("account 1 rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.From != addr(1) && r.To != addr(1) {
+			t.Fatalf("row at height %d does not touch account 1", r.Height)
+		}
+	}
+	if hs := []uint64{rows[0].Height, rows[1].Height, rows[2].Height}; !reflect.DeepEqual(hs, []uint64{1, 3, 3}) {
+		t.Fatalf("account 1 heights = %v, want [1 3 3]", hs)
+	}
+	if got := drainHeights(t, ix.AccountScan(addr(1), 2, 4)); !reflect.DeepEqual(got, []uint64{3, 3}) {
+		t.Fatalf("account 1 [2,4) heights = %v, want [3 3]", got)
+	}
+	if got := Drain(ix.AccountScan(addr(9), 1, 100)); len(got) != 0 {
+		t.Fatalf("unknown account returned %d rows", len(got))
+	}
+	if ix.postingsHits.Value() == 0 {
+		t.Fatal("postings hits counter did not move")
+	}
+}
+
+func TestReorgTruncateConverges(t *testing.T) {
+	// Build two sources sharing a 6-block prefix, diverging after.
+	shared := chainSource(6, 3)
+	forkA := &fakeSource{blocks: append([]*types.Block{}, shared.blocks...), rcpts: append([][]*types.Receipt{}, shared.rcpts...)}
+	forkA.add(transfer(1, 2, 111))
+	forkA.add(transfer(2, 3, 222))
+	forkB := &fakeSource{blocks: append([]*types.Block{}, shared.blocks...), rcpts: append([][]*types.Receipt{}, shared.rcpts...)}
+	forkB.add(transfer(4, 5, 333), transfer(5, 6, 444))
+
+	ix := NewIndexer(nil, Options{SegmentSize: 4})
+	if err := ix.CatchUp(forkA); err != nil {
+		t.Fatal(err)
+	}
+	// Reorg: the ledger redelivers the new branch's blocks through
+	// OnCommit, replacing previously indexed heights from the
+	// divergence point (here height 7; fork A's height 8 must go too).
+	ix.OnCommit(forkB.blocks[6:], forkB.rcpts[6:])
+
+	fresh := NewIndexer(nil, Options{SegmentSize: 4})
+	if err := fresh.CatchUp(forkB); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []Query{
+		{Op: OpSum, From: 1, To: 100},
+		{Op: OpMaxDelta, Account: addr(5), From: 1, To: 100},
+		{Op: OpTopK, Account: addr(5), From: 1, To: 100, K: 10},
+	} {
+		got, err := ix.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fresh.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.Rows, want.Rows = 0, 0 // scan cost may differ across layouts
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s after reorg: got %+v, want %+v", q.Op, got, want)
+		}
+	}
+	if ix.Rows() != fresh.Rows() || ix.Last() != fresh.Last() {
+		t.Fatalf("reorged index rows/last = %d/%d, fresh = %d/%d",
+			ix.Rows(), ix.Last(), fresh.Rows(), fresh.Last())
+	}
+}
+
+func TestPersistLoadCatchUp(t *testing.T) {
+	// SegmentSize 7 with 3 tx/block guarantees seal boundaries cut
+	// mid-block, exercising the partial-tail rewind in Load.
+	src := chainSource(50, 3)
+	store := kvstore.NewMem()
+	ix := NewIndexer(store, Options{SegmentSize: 7})
+	if err := ix.CatchUp(src); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := NewIndexer(store, Options{SegmentSize: 7})
+	if err := restored.Load(); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Last() >= ix.Last() && restored.Rows() == ix.Rows() {
+		t.Fatalf("load restored the full index; expected the open tail to be missing")
+	}
+	if err := restored.CatchUp(src); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Rows() != ix.Rows() || restored.Last() != ix.Last() {
+		t.Fatalf("restored rows/last = %d/%d, want %d/%d",
+			restored.Rows(), restored.Last(), ix.Rows(), ix.Last())
+	}
+	for _, q := range []Query{
+		{Op: OpSum, From: 1, To: 51},
+		{Op: OpSum, From: 20, To: 30},
+		{Op: OpMaxDelta, Account: addr(3), From: 1, To: 51},
+		{Op: OpMaxVersion, Account: addr(3), From: 1, To: 51},
+		{Op: OpTopK, Account: addr(2), From: 5, To: 45},
+		{Op: OpCommon, Account: addr(1), Account2: addr(2), From: 1, To: 51, K: 20},
+	} {
+		got, err := restored.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ix.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: restored %+v, original %+v", q.Op, got, want)
+		}
+	}
+
+	// Loading into a mismatched geometry must fail loudly.
+	if err := NewIndexer(store, Options{SegmentSize: 8}).Load(); err == nil {
+		t.Fatal("load with mismatched segment size succeeded")
+	}
+}
+
+func TestQuerySemantics(t *testing.T) {
+	src := &fakeSource{}
+	src.add(transfer(1, 2, 100))                    // h1
+	src.add(transfer(2, 1, 30), transfer(1, 3, 20)) // h2: net for 1 = +10
+	src.add(transfer(3, 1, 500))                    // h3
+	// h4: a failed transfer — counted by sum (Q1 counts all txs), but
+	// invisible to balance-delta and counterparty queries.
+	failed := transfer(1, 2, 999)
+	src.add(failed)
+	src.rcpts[3][0].OK = false
+
+	ix := NewIndexer(nil, Options{})
+	if err := ix.CatchUp(src); err != nil {
+		t.Fatal(err)
+	}
+
+	sum, err := ix.Query(Query{Op: OpSum, From: 1, To: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(100 + 30 + 20 + 500 + 999); sum.Value != want {
+		t.Fatalf("sum = %d, want %d", sum.Value, want)
+	}
+	if sum.Height != 4 || sum.Rows != 5 {
+		t.Fatalf("sum height/rows = %d/%d, want 4/5", sum.Height, sum.Rows)
+	}
+
+	// maxdelta over [1,5): deltas at heights 2..4 — |+10|, |+500|, 0.
+	md, err := ix.Query(Query{Op: OpMaxDelta, Account: addr(1), From: 1, To: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md.Value != 500 {
+		t.Fatalf("maxdelta = %d, want 500", md.Value)
+	}
+	// Restricting to [1,3) sees only the height-2 net of +10.
+	md, err = ix.Query(Query{Op: OpMaxDelta, Account: addr(1), From: 1, To: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md.Value != 10 {
+		t.Fatalf("maxdelta [1,3) = %d, want 10", md.Value)
+	}
+
+	top, err := ix.Query(Query{Op: OpTopK, Account: addr(1), From: 1, To: 5, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Committed counterparties of 1: 2 (h1, h2), 3 (h2, h3). Tie on
+	// count=2 breaks by sum: 3 carries 520, 2 carries 130.
+	if len(top.Top) != 2 || top.Top[0].Account != addr(3) || top.Top[0].Sum != 520 ||
+		top.Top[1].Account != addr(2) || top.Top[1].Sum != 130 {
+		t.Fatalf("topk = %+v", top.Top)
+	}
+
+	common, err := ix.Query(Query{Op: OpCommon, Account: addr(2), Account2: addr(3), From: 1, To: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accounts 2 and 3 share exactly one counterparty: account 1.
+	if len(common.Top) != 1 || common.Top[0].Account != addr(1) {
+		t.Fatalf("common = %+v", common.Top)
+	}
+
+	if _, err := ix.Query(Query{Op: "bogus"}); err == nil {
+		t.Fatal("unknown op succeeded")
+	}
+	empty, err := ix.Query(Query{Op: OpSum, From: 7, To: 7})
+	if err != nil || empty.Value != 0 || empty.Rows != 0 {
+		t.Fatalf("empty range: %+v, err %v", empty, err)
+	}
+}
+
+func TestMaxVersionMatchesVersionDiffSemantics(t *testing.T) {
+	// versionkv rows: prealloc then three updates touching account 1.
+	acct, other := addr(1), addr(2)
+	vkv := func(method string, args ...[]byte) *types.Transaction {
+		return &types.Transaction{From: addr(9), Contract: "versionkv", Method: method, Args: args}
+	}
+	src := &fakeSource{}
+	src.add(vkv("prealloc", acct.Bytes(), types.U64Bytes(1<<20)))               // h1: v1
+	src.add(vkv("sendValue", acct.Bytes(), other.Bytes(), types.U64Bytes(50)))  // h2: v2, diff 50
+	src.add(vkv("sendValue", other.Bytes(), acct.Bytes(), types.U64Bytes(700))) // h3: v3, diff 700
+	src.add(vkv("sendValue", acct.Bytes(), other.Bytes(), types.U64Bytes(20)))  // h4: v4, diff 20
+	ix := NewIndexer(nil, Options{})
+	if err := ix.CatchUp(src); err != nil {
+		t.Fatal(err)
+	}
+
+	// Full range: versions v1..v4 in window; the oldest (prealloc) only
+	// anchors the first diff, so the answer is max(50, 700, 20).
+	res, err := ix.Query(Query{Op: OpMaxVersion, Account: acct, From: 1, To: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 700 {
+		t.Fatalf("maxversion full = %d, want 700", res.Value)
+	}
+	// Window [3,5): versions v3, v4 — v3 anchors, answer is v4's diff.
+	res, err = ix.Query(Query{Op: OpMaxVersion, Account: acct, From: 3, To: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 20 {
+		t.Fatalf("maxversion [3,5) = %d, want 20", res.Value)
+	}
+	// A single in-window version yields no diff at all.
+	res, err = ix.Query(Query{Op: OpMaxVersion, Account: acct, From: 3, To: 4})
+	if err != nil || res.Value != 0 {
+		t.Fatalf("maxversion [3,4) = %d (err %v), want 0", res.Value, err)
+	}
+}
+
+func TestOperators(t *testing.T) {
+	evens := Filter(SliceIter([]int{1, 2, 3, 4, 5, 6}), func(v int) bool { return v%2 == 0 })
+	if got := Reduce(evens, 0, func(a, v int) int { return a + v }); got != 12 {
+		t.Fatalf("filter+reduce = %d, want 12", got)
+	}
+
+	type pair struct{ k, v int }
+	left := []pair{{1, 10}, {2, 20}, {2, 25}, {3, 30}}
+	right := []pair{{2, 200}, {3, 300}, {4, 400}}
+	joined := Drain(HashJoin(
+		SliceIter(left), func(p pair) int { return p.k },
+		SliceIter(right), func(p pair) int { return p.k },
+		func(l, r pair) int { return l.v + r.v },
+	))
+	// Key 2 fans out over both build rows; key 4 has no build match.
+	want := []int{220, 225, 330}
+	if !reflect.DeepEqual(joined, want) {
+		t.Fatalf("hash join = %v, want %v", joined, want)
+	}
+
+	stats := []AccountStat{
+		{Account: addr(1), Count: 3, Sum: 10},
+		{Account: addr(2), Count: 5, Sum: 1},
+		{Account: addr(3), Count: 3, Sum: 90},
+	}
+	top := TopAccounts(stats, 2)
+	if len(top) != 2 || top[0].Account != addr(2) || top[1].Account != addr(3) {
+		t.Fatalf("top accounts = %+v", top)
+	}
+}
+
+func TestLargeBatchesStreamBounded(t *testing.T) {
+	// More rows than one batch: the scan must deliver all of them in
+	// several batches, none exceeding the batch cap.
+	src := chainSource(400, 3) // 1200 rows
+	ix := NewIndexer(nil, Options{})
+	if err := ix.CatchUp(src); err != nil {
+		t.Fatal(err)
+	}
+	it := ix.Scan(1, 401)
+	total, batches := 0, 0
+	for {
+		b := it.Next()
+		if b == nil {
+			break
+		}
+		if len(b) > batchRows {
+			t.Fatalf("batch of %d exceeds cap %d", len(b), batchRows)
+		}
+		total += len(b)
+		batches++
+	}
+	if total != 1200 || batches < 1200/batchRows {
+		t.Fatalf("streamed %d rows in %d batches", total, batches)
+	}
+}
+
+func TestCounterProviderKeys(t *testing.T) {
+	ix := NewIndexer(nil, Options{})
+	got := ix.Counters()
+	for _, k := range []string{
+		"analytics.segments", "analytics.rows", "analytics.zone_skips",
+		"analytics.postings_hits", "analytics.queries", "analytics.query_rows",
+	} {
+		if _, ok := got[k]; !ok {
+			t.Fatalf("counter %q missing (have %v)", k, got)
+		}
+	}
+}
+
+func TestApplyGapFails(t *testing.T) {
+	ix := NewIndexer(nil, Options{})
+	b := &types.Block{Header: types.Header{Number: 5}}
+	if err := ix.Apply(b, nil); err == nil {
+		t.Fatal("applying block 5 onto an empty index succeeded")
+	}
+}

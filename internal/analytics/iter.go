@@ -1,0 +1,324 @@
+// Streaming executor: a pull-based iterator tree over the columnar
+// index. Operators exchange small row batches — a scan never
+// materializes the history it covers, so query memory is bounded by
+// the batch size (plus the aggregate's own state), not the chain
+// length.
+package analytics
+
+import (
+	"bytes"
+	"sort"
+
+	"blockbench/internal/types"
+)
+
+// batchRows is the number of rows an operator hands downstream per
+// Next call.
+const batchRows = 256
+
+// Row is one decoded index row (one transaction).
+type Row struct {
+	Height   uint64
+	Time     int64
+	From     types.Address
+	To       types.Address
+	Value    uint64
+	Contract string
+	Method   string
+	OK       bool
+}
+
+// Iterator is the executor's pull interface: Next returns the next
+// batch, or nil when exhausted. A returned batch is only valid until
+// the following Next call (operators reuse their buffers).
+type Iterator[T any] interface {
+	Next() []T
+}
+
+// Scan streams rows with Height in [from, to) in ascending row order,
+// skipping sealed segments whose height zone maps fall outside the
+// range. It is the index's table-scan access path.
+func (ix *Indexer) Scan(from, to uint64) Iterator[Row] {
+	return ix.view().scan(from, to, nil)
+}
+
+// AccountScan streams the rows touching acct (as sender or recipient)
+// with Height in [from, to), driven by the account's posting list —
+// cost proportional to the account's own history, not the chain's.
+func (ix *Indexer) AccountScan(acct types.Address, from, to uint64) Iterator[Row] {
+	return ix.view().accountScan(acct, from, to, nil)
+}
+
+// scanIter walks segments in order, binary-searching into the first
+// relevant row per segment and pruning sealed segments by zone map.
+type scanIter struct {
+	v        *view
+	from, to uint64
+	seg      int
+	pos      int // -1: segment not yet entered
+	done     bool
+	buf      []Row
+	scanned  *uint64
+}
+
+func (v *view) scan(from, to uint64, scanned *uint64) Iterator[Row] {
+	return &scanIter{v: v, from: from, to: to, pos: -1, scanned: scanned}
+}
+
+func (it *scanIter) Next() []Row {
+	if it.done {
+		return nil
+	}
+	out := it.buf[:0]
+	for len(out) < batchRows && !it.done {
+		s := it.v.segment(it.seg)
+		if s == nil {
+			it.done = true
+			break
+		}
+		if s.rows() == 0 {
+			it.seg++
+			it.pos = -1
+			continue
+		}
+		if it.pos < 0 {
+			// Predicate pushdown: the height zone map rejects the whole
+			// segment without reading a row. Heights are globally
+			// ascending, so a segment past the range ends the scan.
+			if s.zoned && s.maxH < it.from {
+				it.v.ix.zoneSkips.Inc()
+				it.seg++
+				continue
+			}
+			if s.zoned && s.minH >= it.to {
+				it.v.ix.zoneSkips.Inc()
+				it.done = true
+				break
+			}
+			it.pos = sort.Search(s.rows(), func(i int) bool { return s.height[i] >= it.from })
+		}
+		for it.pos < s.rows() && len(out) < batchRows {
+			if s.height[it.pos] >= it.to {
+				it.done = true
+				break
+			}
+			out = append(out, it.v.rowFrom(s, it.pos))
+			it.pos++
+		}
+		if it.pos >= s.rows() {
+			it.seg++
+			it.pos = -1
+		}
+	}
+	it.buf = out
+	if len(out) == 0 {
+		it.done = true
+		return nil
+	}
+	if it.scanned != nil {
+		*it.scanned += uint64(len(out))
+	}
+	return out
+}
+
+// postingIter walks one account's posting list, resolving global row
+// ids into rows. Posting lists are ascending by row id, hence by
+// height, so the height window is a contiguous slice of the list.
+type postingIter struct {
+	v        *view
+	ids      []uint32
+	i        int
+	from, to uint64
+	started  bool
+	done     bool
+	buf      []Row
+	scanned  *uint64
+}
+
+func (v *view) accountScan(acct types.Address, from, to uint64, scanned *uint64) Iterator[Row] {
+	return &postingIter{v: v, ids: v.postingsFor(acct), from: from, to: to, scanned: scanned}
+}
+
+func (it *postingIter) Next() []Row {
+	if it.done {
+		return nil
+	}
+	if !it.started {
+		it.started = true
+		it.i = sort.Search(len(it.ids), func(j int) bool {
+			s, p := it.v.at(it.ids[j])
+			return s.height[p] >= it.from
+		})
+	}
+	out := it.buf[:0]
+	for len(out) < batchRows && it.i < len(it.ids) {
+		s, p := it.v.at(it.ids[it.i])
+		if s.height[p] >= it.to {
+			break
+		}
+		out = append(out, it.v.rowFrom(s, p))
+		it.v.ix.postingsHits.Inc()
+		it.i++
+	}
+	it.buf = out
+	if len(out) == 0 {
+		it.done = true
+		return nil
+	}
+	if it.scanned != nil {
+		*it.scanned += uint64(len(out))
+	}
+	return out
+}
+
+// Filter streams the rows of in that satisfy keep.
+func Filter[T any](in Iterator[T], keep func(T) bool) Iterator[T] {
+	return &filterIter[T]{in: in, keep: keep}
+}
+
+type filterIter[T any] struct {
+	in   Iterator[T]
+	keep func(T) bool
+	buf  []T
+}
+
+func (it *filterIter[T]) Next() []T {
+	for {
+		batch := it.in.Next()
+		if batch == nil {
+			return nil
+		}
+		out := it.buf[:0]
+		for _, x := range batch {
+			if it.keep(x) {
+				out = append(out, x)
+			}
+		}
+		it.buf = out
+		if len(out) > 0 {
+			return out
+		}
+	}
+}
+
+// Reduce folds every element of in into acc — the executor's aggregate
+// sink (sum/max/count collapse to one value, group-bys to one map).
+func Reduce[T, A any](in Iterator[T], acc A, f func(A, T) A) A {
+	for {
+		batch := in.Next()
+		if batch == nil {
+			return acc
+		}
+		for _, x := range batch {
+			acc = f(acc, x)
+		}
+	}
+}
+
+// Drain collects the remaining elements of in into a slice. Only for
+// streams already reduced to bounded size (joined aggregates, top-k
+// candidates) — never for raw scans.
+func Drain[T any](in Iterator[T]) []T {
+	var out []T
+	for {
+		batch := in.Next()
+		if batch == nil {
+			return out
+		}
+		out = append(out, batch...)
+	}
+}
+
+// SliceIter streams a slice in batches, adapting materialized
+// aggregates back into the iterator tree.
+func SliceIter[T any](xs []T) Iterator[T] {
+	return &sliceIter[T]{xs: xs}
+}
+
+type sliceIter[T any] struct {
+	xs []T
+	i  int
+}
+
+func (it *sliceIter[T]) Next() []T {
+	if it.i >= len(it.xs) {
+		return nil
+	}
+	j := min(it.i+batchRows, len(it.xs))
+	out := it.xs[it.i:j]
+	it.i = j
+	return out
+}
+
+// HashJoin equi-joins two streams: the build side is drained into a
+// hash table keyed by bkey on the first Next call, then the probe side
+// streams through it, emitting join(l, r) for every key match. Keys
+// with multiple build rows fan out.
+func HashJoin[L, R, O any, K comparable](
+	build Iterator[L], bkey func(L) K,
+	probe Iterator[R], pkey func(R) K,
+	join func(L, R) O,
+) Iterator[O] {
+	return &hashJoinIter[L, R, O, K]{build: build, bkey: bkey, probe: probe, pkey: pkey, join: join}
+}
+
+type hashJoinIter[L, R, O any, K comparable] struct {
+	build Iterator[L]
+	bkey  func(L) K
+	probe Iterator[R]
+	pkey  func(R) K
+	join  func(L, R) O
+	table map[K][]L
+	buf   []O
+}
+
+func (it *hashJoinIter[L, R, O, K]) Next() []O {
+	if it.table == nil {
+		it.table = make(map[K][]L)
+		for {
+			batch := it.build.Next()
+			if batch == nil {
+				break
+			}
+			for _, l := range batch {
+				k := it.bkey(l)
+				it.table[k] = append(it.table[k], l)
+			}
+		}
+	}
+	for {
+		batch := it.probe.Next()
+		if batch == nil {
+			return nil
+		}
+		out := it.buf[:0]
+		for _, r := range batch {
+			for _, l := range it.table[it.pkey(r)] {
+				out = append(out, it.join(l, r))
+			}
+		}
+		it.buf = out
+		if len(out) > 0 {
+			return out
+		}
+	}
+}
+
+// TopAccounts orders account aggregates by activity — count desc, then
+// sum desc, then address for determinism — and keeps the first k
+// (k <= 0 keeps all).
+func TopAccounts(stats []AccountStat, k int) []AccountStat {
+	sort.Slice(stats, func(i, j int) bool {
+		if stats[i].Count != stats[j].Count {
+			return stats[i].Count > stats[j].Count
+		}
+		if stats[i].Sum != stats[j].Sum {
+			return stats[i].Sum > stats[j].Sum
+		}
+		return bytes.Compare(stats[i].Account[:], stats[j].Account[:]) < 0
+	})
+	if k > 0 && len(stats) > k {
+		stats = stats[:k]
+	}
+	return stats
+}

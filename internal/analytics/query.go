@@ -1,0 +1,216 @@
+// Query is the node-facing entry point: one request describes an
+// operation over a height range, and the indexer plans a small
+// iterator tree for it. The five operations cover the paper's two
+// Analytics queries (sum, maxdelta/maxversion) and the join-shaped
+// queries the HTAP workload issues (topk, common).
+package analytics
+
+import (
+	"fmt"
+
+	"blockbench/internal/types"
+)
+
+// Op names a query operation.
+type Op string
+
+const (
+	// OpSum totals transaction value in the range — Q1.
+	OpSum Op = "sum"
+	// OpMaxDelta finds the largest per-block balance change of Account
+	// in the range — Q2 on the account-balance platforms. The range
+	// semantics mirror the baseline walk: deltas are measured between
+	// consecutive block boundaries inside [From, To), so rows at height
+	// From itself are history, not deltas.
+	OpMaxDelta Op = "maxdelta"
+	// OpMaxVersion finds the largest value among Account's in-range
+	// version updates after the first — Q2's Hyperledger shape
+	// (versionkv versions, newest-first consecutive diffs).
+	OpMaxVersion Op = "maxversion"
+	// OpTopK ranks Account's counterparties in the range by
+	// transaction count (K results).
+	OpTopK Op = "topk"
+	// OpCommon joins the counterparty sets of Account and Account2 and
+	// ranks the shared ones by combined activity (K results).
+	OpCommon Op = "common"
+)
+
+// Query is one analytics request. To == 0 means "to the end of what
+// the serving node confirms"; the node clamps To to its confirmation
+// height, and the indexer clamps it to what it has indexed.
+type Query struct {
+	Op       Op
+	From, To uint64
+	Account  types.Address
+	Account2 types.Address
+	K        int
+}
+
+// AccountStat aggregates one account's activity in a range.
+type AccountStat struct {
+	Account types.Address
+	Count   uint64
+	Sum     uint64
+}
+
+// Result is one query's answer. Rows counts the index rows the
+// operator tree actually pulled (after pushdown — the query's true
+// scan cost), and Height is the last block the answer covers.
+type Result struct {
+	Value  uint64
+	Top    []AccountStat
+	Rows   uint64
+	Height uint64
+}
+
+// Query runs one request against a consistent snapshot of the index.
+func (ix *Indexer) Query(q Query) (Result, error) {
+	switch q.Op {
+	case OpSum, OpMaxDelta, OpMaxVersion, OpTopK, OpCommon:
+	default:
+		return Result{}, fmt.Errorf("analytics: unknown op %q", q.Op)
+	}
+	ix.queries.Inc()
+
+	v := ix.view()
+	from, to := q.From, q.To
+	if to == 0 || to > v.last+1 {
+		to = v.last + 1
+	}
+	var res Result
+	if to > 0 {
+		res.Height = to - 1
+	}
+	if from >= to {
+		return res, nil // empty range
+	}
+
+	var scanned uint64
+	switch q.Op {
+	case OpSum:
+		// Q1 counts value-bearing transactions whether or not they
+		// committed successfully, matching the baseline block walk.
+		it := Filter(v.scan(from, to, &scanned), func(r Row) bool {
+			return r.Contract == "" || (r.Contract == "versionkv" && r.Method == "sendValue")
+		})
+		res.Value = Reduce(it, uint64(0), func(acc uint64, r Row) uint64 { return acc + r.Value })
+
+	case OpMaxDelta:
+		// Per-block net balance movement of the account, max |net|.
+		// Transfers move balances by exactly their value (no fees in
+		// this system), so this equals the baseline's BalanceAt diffs.
+		it := Filter(v.accountScan(q.Account, from+1, to, &scanned), func(r Row) bool {
+			return r.OK && r.Contract != "versionkv" && (r.Contract == "" || r.Value > 0)
+		})
+		type state struct {
+			h    uint64
+			net  int64
+			best uint64
+		}
+		st := Reduce(it, state{}, func(s state, r Row) state {
+			if r.Height != s.h {
+				s.best = max(s.best, absInt64(s.net))
+				s.net, s.h = 0, r.Height
+			}
+			if r.From == q.Account {
+				s.net -= int64(r.Value)
+			}
+			if r.To == q.Account {
+				s.net += int64(r.Value)
+			}
+			return s
+		})
+		res.Value = max(st.best, absInt64(st.net))
+
+	case OpMaxVersion:
+		// versionkv writes one version per touching update, and
+		// consecutive version values differ by exactly the update's
+		// value — so the largest newest-first diff over the in-range
+		// versions is the largest in-range update value, excluding the
+		// range's oldest version (it only anchors the first diff).
+		it := Filter(v.accountScan(q.Account, from, to, &scanned), func(r Row) bool {
+			return r.OK && r.Contract == "versionkv" && (r.Method == "sendValue" || r.Method == "prealloc")
+		})
+		type state struct {
+			seen bool
+			best uint64
+		}
+		st := Reduce(it, state{}, func(s state, r Row) state {
+			if !s.seen {
+				s.seen = true
+				return s
+			}
+			s.best = max(s.best, r.Value)
+			return s
+		})
+		res.Value = st.best
+
+	case OpTopK:
+		res.Top = TopAccounts(v.counterpartyStats(q.Account, from, to, &scanned), topK(q.K))
+
+	case OpCommon:
+		// Join the two accounts' counterparty aggregates on the
+		// counterparty address; shared counterparties rank by combined
+		// activity.
+		a := v.counterpartyStats(q.Account, from, to, &scanned)
+		b := v.counterpartyStats(q.Account2, from, to, &scanned)
+		joined := HashJoin(
+			SliceIter(a), func(s AccountStat) types.Address { return s.Account },
+			SliceIter(b), func(s AccountStat) types.Address { return s.Account },
+			func(l, r AccountStat) AccountStat {
+				return AccountStat{Account: l.Account, Count: l.Count + r.Count, Sum: l.Sum + r.Sum}
+			},
+		)
+		res.Top = TopAccounts(Drain(joined), topK(q.K))
+	}
+
+	res.Rows = scanned
+	ix.queryRows.Add(scanned)
+	if res.Height > v.last {
+		res.Height = v.last
+	}
+	return res, nil
+}
+
+// counterpartyStats aggregates the per-counterparty count and value
+// sum of the committed rows touching acct in [from, to).
+func (v *view) counterpartyStats(acct types.Address, from, to uint64, scanned *uint64) []AccountStat {
+	var zero types.Address
+	it := Filter(v.accountScan(acct, from, to, scanned), func(r Row) bool { return r.OK })
+	m := Reduce(it, make(map[types.Address]*AccountStat), func(m map[types.Address]*AccountStat, r Row) map[types.Address]*AccountStat {
+		cp := r.From
+		if cp == acct {
+			cp = r.To
+		}
+		if cp == zero || cp == acct {
+			return m
+		}
+		s := m[cp]
+		if s == nil {
+			s = &AccountStat{Account: cp}
+			m[cp] = s
+		}
+		s.Count++
+		s.Sum += r.Value
+		return m
+	})
+	out := make([]AccountStat, 0, len(m))
+	for _, s := range m {
+		out = append(out, *s)
+	}
+	return out
+}
+
+func topK(k int) int {
+	if k <= 0 {
+		return 5
+	}
+	return k
+}
+
+func absInt64(v int64) uint64 {
+	if v < 0 {
+		return uint64(-v)
+	}
+	return uint64(v)
+}

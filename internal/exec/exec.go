@@ -79,6 +79,11 @@ func contractAddress(name string) types.Address {
 	return types.BytesToAddress([]byte("contract:" + name))
 }
 
+// ContractAddress exposes the contract funds account derivation to
+// read-side consumers (the analytics indexer records it as the
+// recipient of value-bearing contract calls).
+func ContractAddress(name string) types.Address { return contractAddress(name) }
+
 // Execute implements Engine.
 func (e *EVMEngine) Execute(db *state.DB, tx *types.Transaction, blockNum uint64) *types.Receipt {
 	r := &types.Receipt{TxHash: tx.Hash(), BlockNumber: blockNum}

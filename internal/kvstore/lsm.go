@@ -122,6 +122,14 @@ func OpenLSM(dir string, opts LSMOptions) (*LSM, error) {
 }
 
 func (s *LSM) loadRuns() error {
+	// A crash between writing a merged run and renaming it into place
+	// leaves a .tmp side file; the inputs it merged are all still live,
+	// so it is pure garbage.
+	if tmps, err := filepath.Glob(filepath.Join(s.dir, "run-*.sst.tmp")); err == nil {
+		for _, t := range tmps {
+			os.Remove(t)
+		}
+	}
 	matches, err := filepath.Glob(filepath.Join(s.dir, "run-*.sst"))
 	if err != nil {
 		return err
@@ -484,15 +492,20 @@ func (s *LSM) maybeCompactLocked() error {
 }
 
 // compactRange merges the adjacent runs[lo:hi] (newest wins) into one
-// run in their place. Tombstones are dropped only when the window
-// reaches the oldest run — otherwise they must keep shadowing older
-// records.
+// run in their place. The merged file takes over the sequence number of
+// the newest run in the window — written to a side file first, then
+// renamed over it — because loadRuns reconstructs recency order from
+// filenames alone: a merged middle window filed under a fresh (highest)
+// sequence number would reopen as the newest run and its stale values
+// would shadow every run that was newer than the window. Tombstones are
+// dropped only when the window reaches the oldest run — otherwise they
+// must keep shadowing older records.
 func (s *LSM) compactRange(lo, hi int) error {
 	window := append([]*run(nil), s.runs[lo:hi]...)
 	dropTombstones := hi == len(s.runs)
 
-	path := filepath.Join(s.dir, fmt.Sprintf("run-%08d.sst", s.nextRun))
-	s.nextRun++
+	target := window[0].path // newest sequence number in the window
+	path := target + ".tmp"
 	rw, err := newRunWriter(path, s.bitsPerKey)
 	if err != nil {
 		return err
@@ -533,6 +546,15 @@ func (s *LSM) compactRange(lo, hi int) error {
 	if err != nil {
 		return err
 	}
+	if merged != nil {
+		// Open readers of the replaced file keep their FDs on the old
+		// inode; merged's own FD was opened pre-rename and stays valid.
+		if err := os.Rename(path, target); err != nil {
+			merged.retire()
+			return err
+		}
+		merged.path = target
+	}
 
 	newRuns := make([]*run, 0, len(s.runs)-len(window)+1)
 	newRuns = append(newRuns, s.runs[:lo]...)
@@ -541,6 +563,12 @@ func (s *LSM) compactRange(lo, hi int) error {
 	}
 	newRuns = append(newRuns, s.runs[hi:]...)
 	s.runs = newRuns
+	if merged != nil {
+		// window[0]'s path now belongs to the merged run: release only
+		// closes its FD. Marking it obsolete would delete the new file.
+		window[0].release()
+		window = window[1:]
+	}
 	for _, r := range window {
 		r.retire()
 	}

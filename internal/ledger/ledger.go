@@ -70,6 +70,13 @@ type Config struct {
 	// canonical chain and are not part of the new branch, so the node
 	// can return them to its pending pool.
 	OnReorg func(dropped []*types.Transaction)
+	// OnCommit is called with the blocks (and their receipts, aligned
+	// by index) that become canonical, in ascending height order — on a
+	// reorg the new branch's blocks replace previously delivered
+	// heights. The analytics indexer maintains its columnar index here.
+	// The hook runs under the chain lock: it must be fast and must not
+	// call back into the chain.
+	OnCommit func(blocks []*types.Block, receipts [][]*types.Receipt)
 }
 
 type entry struct {
@@ -295,6 +302,15 @@ func (c *Chain) setHeadLocked(e *entry) {
 	}
 	if len(dropped) > 0 && c.cfg.OnReorg != nil {
 		c.cfg.OnReorg(dropped)
+	}
+	if len(fresh) > 0 && c.cfg.OnCommit != nil {
+		blocks := make([]*types.Block, 0, len(fresh))
+		receipts := make([][]*types.Receipt, 0, len(fresh))
+		for i := len(fresh) - 1; i >= 0; i-- {
+			blocks = append(blocks, fresh[i].block)
+			receipts = append(receipts, fresh[i].receipts)
+		}
+		c.cfg.OnCommit(blocks, receipts)
 	}
 }
 

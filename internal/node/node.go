@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"blockbench/internal/analytics"
 	"blockbench/internal/consensus"
 	"blockbench/internal/crypto"
 	"blockbench/internal/exec"
@@ -39,6 +40,10 @@ type Config struct {
 	// they are buried this deep (the paper's confirmationLength for
 	// Ethereum and Parity; Hyperledger confirms immediately, depth 0).
 	ConfirmationDepth uint64
+
+	// Analytics is the node's columnar ledger index; AnalyticsQuery
+	// serves from it. Nil when the index is disabled.
+	Analytics *analytics.Indexer
 
 	// ServerSigns moves transaction signing into the server's serial
 	// ingestion path (Parity signs on behalf of unlocked accounts, so
@@ -387,6 +392,29 @@ func (n *Node) BalanceAt(addr types.Address, number uint64) (uint64, error) {
 		return 0, err
 	}
 	return db.GetBalance(addr), nil
+}
+
+// AnalyticsQuery serves one analytics request from the node's columnar
+// ledger index — one round trip for a whole historical scan, against
+// the per-block RPC walk the paper's baseline pays. The scanned range
+// is clamped to the node's confirmation height, so analytical reads
+// observe exactly the history the node serves as confirmed.
+func (n *Node) AnalyticsQuery(q analytics.Query) (analytics.Result, error) {
+	if err := n.rpc(); err != nil {
+		return analytics.Result{}, err
+	}
+	n.leaseCheck()
+	if n.cfg.Analytics == nil {
+		return analytics.Result{}, fmt.Errorf("node %d: analytics index disabled", n.cfg.ID)
+	}
+	confirmed := uint64(0)
+	if h := n.cfg.Chain.Height(); h >= n.cfg.ConfirmationDepth {
+		confirmed = h - n.cfg.ConfirmationDepth
+	}
+	if q.To == 0 || q.To > confirmed+1 {
+		q.To = confirmed + 1
+	}
+	return n.cfg.Analytics.Query(q)
 }
 
 // Receipt looks up a committed transaction's receipt.

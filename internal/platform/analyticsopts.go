@@ -1,0 +1,23 @@
+package platform
+
+import "fmt"
+
+// analyticsOptionKeys is the generic -popt key every preset takes for
+// the ledger analytics indexer: index=on|off (default on). The index
+// is read-side only — it never affects consensus or state — so unlike
+// the storage and execution options it is uniformly available,
+// including on hyperledger.
+var analyticsOptionKeys = []string{"index"}
+
+// fillAnalyticsOption folds -popt index= into Config.AnalyticsIndex.
+func fillAnalyticsOption(cfg *Config) error {
+	if v, ok := cfg.Options["index"]; ok {
+		cfg.AnalyticsIndex = v
+	}
+	switch cfg.AnalyticsIndex {
+	case "", "on", "off":
+		return nil
+	default:
+		return fmt.Errorf("platform: %s: -popt index=%q: want on or off", cfg.Kind, cfg.AnalyticsIndex)
+	}
+}

@@ -22,7 +22,8 @@ func ethereumPreset() *Preset {
 		Kind:          Ethereum,
 		Describe:      "geth v1.4.18: PoW, Patricia-Merkle trie + LRU state cache, EVM",
 		SupportsForks: true,
-		OptionKeys:    append(append([]string{}, storeOptionKeys...), execOptionKeys...),
+		OptionKeys: append(append(append([]string{}, storeOptionKeys...), execOptionKeys...),
+			analyticsOptionKeys...),
 		Fill: func(cfg *Config) error {
 			if cfg.BlockInterval <= 0 {
 				cfg.BlockInterval = 100 * time.Millisecond
@@ -36,7 +37,10 @@ func ethereumPreset() *Preset {
 			if err := fillStoreOptions(cfg); err != nil {
 				return err
 			}
-			return fillExecWorkers(cfg)
+			if err := fillExecWorkers(cfg); err != nil {
+				return err
+			}
+			return fillAnalyticsOption(cfg)
 		},
 		MemModel:        gethMemModel,
 		NewEngine:       newEVMEngine,

@@ -13,7 +13,8 @@ import (
 // pool of no workers can execute nothing, and silently falling back to
 // serial would make the knob lie. Hyperledger does not expose the knob
 // at all (its Fabric v0.6 pipeline is strictly serial), so there the
-// key is an unknown option.
+// key is an unknown option — its only known key is the shared
+// analytics-index toggle.
 func TestExecWorkersPoptValidation(t *testing.T) {
 	bad := []struct {
 		kind Kind
@@ -26,7 +27,7 @@ func TestExecWorkersPoptValidation(t *testing.T) {
 		{Ethereum, map[string]string{"workers": "0"}, "workers"},
 		{Parity, map[string]string{"workers": "-1"}, "workers"},
 		{Sharded, map[string]string{"workers": "0"}, "workers"},
-		{Hyperledger, map[string]string{"workers": "4"}, "no -popt options"},
+		{Hyperledger, map[string]string{"workers": "4"}, "unknown option"},
 	}
 	for _, tc := range bad {
 		cfg := fastConfig(tc.kind, 4, clientKeys(1))

@@ -28,6 +28,10 @@ func hyperledgerPreset() *Preset {
 		// Progress requires a live quorum, so blocks are final on commit:
 		// the protocol never forks.
 		SupportsForks: false,
+		// The analytics index is Hyperledger's only -popt: its storage
+		// and execution engines are fixed, but the read-side index is
+		// platform-neutral.
+		OptionKeys: append([]string{}, analyticsOptionKeys...),
 		Fill: func(cfg *Config) error {
 			if cfg.BatchSize == 0 {
 				cfg.BatchSize = 20
@@ -38,7 +42,7 @@ func hyperledgerPreset() *Preset {
 			if cfg.ViewTimeout <= 0 {
 				cfg.ViewTimeout = 400 * time.Millisecond
 			}
-			return nil
+			return fillAnalyticsOption(cfg)
 		},
 		NewEngine: func(cfg *Config, _ exec.MemModel) (exec.Engine, error) {
 			return exec.NewNativeEngine(cfg.Contracts...)

@@ -23,7 +23,8 @@ func parityPreset() *Preset {
 		Describe:      "Parity v1.6.0: PoA, state pinned in memory, EVM, server-side signing",
 		ServerSigns:   true,
 		SupportsForks: true,
-		OptionKeys:    append(append([]string{}, storeOptionKeys...), execOptionKeys...),
+		OptionKeys: append(append(append([]string{}, storeOptionKeys...), execOptionKeys...),
+			analyticsOptionKeys...),
 		Fill: func(cfg *Config) error {
 			if cfg.StepDuration <= 0 {
 				cfg.StepDuration = 40 * time.Millisecond
@@ -37,7 +38,10 @@ func parityPreset() *Preset {
 			if err := fillStoreOptions(cfg); err != nil {
 				return err
 			}
-			return fillExecWorkers(cfg)
+			if err := fillExecWorkers(cfg); err != nil {
+				return err
+			}
+			return fillAnalyticsOption(cfg)
 		},
 		// Parity: ~135 B per element (13 GB at 100M), at 1/100 scale.
 		MemModel: func(*Config) exec.MemModel {

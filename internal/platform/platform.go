@@ -23,6 +23,7 @@ import (
 	"os"
 	"time"
 
+	"blockbench/internal/analytics"
 	"blockbench/internal/crypto"
 	"blockbench/internal/exec"
 	"blockbench/internal/kvstore"
@@ -72,6 +73,11 @@ type Config struct {
 	// ephemeralData marks DataDir as a temp directory provisioned by
 	// fillStoreOptions; Cluster.Close removes it.
 	ephemeralData bool
+	// AnalyticsIndex toggles the per-node columnar analytics index
+	// maintained on the ledger commit path: "" or "on" (the default)
+	// builds it and serves node analytics queries; "off" disables it
+	// (queries error). Exposed as -popt index= on every preset.
+	AnalyticsIndex string
 
 	// Ethereum knobs (Quorum shares CacheEntries; its blocks are
 	// batch-bounded like PBFT's, so GasLimit does not apply).
@@ -166,7 +172,10 @@ type Cluster struct {
 	// providers holds additional per-node counter sources beyond the
 	// consensus and execution engines (the intra-block executors).
 	providers []metrics.CounterProvider
-	cfg       Config
+	// indexers holds each node's analytics indexer (nil entries when
+	// the index is disabled).
+	indexers []*analytics.Indexer
+	cfg      Config
 }
 
 // New builds (but does not start) a cluster of the registered platform
@@ -281,7 +290,17 @@ func (c *Cluster) buildNode(i int, peers []simnet.NodeID, env *Env,
 		blockExec = pex
 		c.providers = append(c.providers, pex)
 	}
-	chain, err := ledger.New(ledger.Config{
+	// Analytics indexer: maintained on the commit path unless disabled.
+	// It persists through the node's own store, so -popt store=lsm
+	// carries the columnar segments on the same engine as state.
+	var idx *analytics.Indexer
+	if cfg.AnalyticsIndex != "off" {
+		idx = analytics.NewIndexer(store, analytics.Options{})
+		c.providers = append(c.providers, idx)
+	}
+	c.indexers = append(c.indexers, idx)
+
+	lcfg := ledger.Config{
 		Engine:        eng,
 		Parallel:      blockExec,
 		StateFactory:  factory,
@@ -291,7 +310,11 @@ func (c *Cluster) buildNode(i int, peers []simnet.NodeID, env *Env,
 		GenesisAlloc:  alloc,
 		OnInclude:     pool.MarkIncluded,
 		OnReorg:       pool.Reinject,
-	})
+	}
+	if idx != nil {
+		lcfg.OnCommit = idx.OnCommit
+	}
+	chain, err := ledger.New(lcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -316,6 +339,7 @@ func (c *Cluster) buildNode(i int, peers []simnet.NodeID, env *Env,
 		Peers:             peers,
 		RPCLatency:        cfg.RPCLatency,
 		ConfirmationDepth: depth,
+		Analytics:         idx,
 	}
 	if p.ServerSigns {
 		ncfg.ServerSigns = true
@@ -373,6 +397,10 @@ func (c *Cluster) Engine(i int) exec.Engine { return c.engines[i] }
 
 // Store returns the i-th node's storage engine.
 func (c *Cluster) Store(i int) kvstore.Store { return c.stores[i] }
+
+// Indexer returns node i's analytics indexer (nil when the index is
+// disabled via -popt index=off).
+func (c *Cluster) Indexer(i int) *analytics.Indexer { return c.indexers[i] }
 
 // Crash stops message delivery to and from node i (crash failure mode).
 func (c *Cluster) Crash(i int) { c.Net.Crash(simnet.NodeID(i)) }

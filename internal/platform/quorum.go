@@ -27,8 +27,8 @@ func quorumPreset() *Preset {
 		// Raft never forks, but the trie keeps historical roots, so the
 		// ledger's versioned-state queries (analytics Q2) stay available.
 		SupportsForks: true,
-		OptionKeys: append(append(append([]string{}, raftOptionKeys...), storeOptionKeys...),
-			execOptionKeys...),
+		OptionKeys: append(append(append(append([]string{}, raftOptionKeys...), storeOptionKeys...),
+			execOptionKeys...), analyticsOptionKeys...),
 		Fill: func(cfg *Config) error {
 			if err := fillRaftConfig(cfg); err != nil {
 				return err
@@ -36,7 +36,10 @@ func quorumPreset() *Preset {
 			if err := fillStoreOptions(cfg); err != nil {
 				return err
 			}
-			return fillExecWorkers(cfg)
+			if err := fillExecWorkers(cfg); err != nil {
+				return err
+			}
+			return fillAnalyticsOption(cfg)
 		},
 		// Same geth lineage as the Ethereum preset: EVM, trie state with
 		// a shared per-node LRU, and the geth memory cost model.

@@ -33,8 +33,8 @@ func shardedPreset() *Preset {
 		// Per-shard Raft never forks, but the trie keeps historical
 		// roots for versioned-state queries, as on Quorum.
 		SupportsForks: true,
-		OptionKeys: append(append(append([]string{"shards", "partitioner", "bounds"},
-			raftOptionKeys...), storeOptionKeys...), execOptionKeys...),
+		OptionKeys: append(append(append(append([]string{"shards", "partitioner", "bounds"},
+			raftOptionKeys...), storeOptionKeys...), execOptionKeys...), analyticsOptionKeys...),
 		Fill: func(cfg *Config) error {
 			if err := fillRaftConfig(cfg); err != nil {
 				return err
@@ -43,6 +43,9 @@ func shardedPreset() *Preset {
 				return err
 			}
 			if err := fillExecWorkers(cfg); err != nil {
+				return err
+			}
+			if err := fillAnalyticsOption(cfg); err != nil {
 				return err
 			}
 			if cfg.Shards <= 0 {

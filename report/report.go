@@ -42,6 +42,15 @@ const (
 	// CounterXShardRetries counts abort-retry rounds (a transaction that
 	// aborts twice and then commits adds two).
 	CounterXShardRetries = "xshard.retries"
+	// CounterAnalyticsQueries counts analytics queries served from the
+	// nodes' columnar ledger indexes.
+	CounterAnalyticsQueries = "analytics.queries"
+	// CounterAnalyticsQueryRows counts index rows pulled by those
+	// queries after pushdown — their true scan cost.
+	CounterAnalyticsQueryRows = "analytics.query_rows"
+	// CounterAnalyticsZoneSkips counts whole segments skipped by zone
+	// maps during range scans.
+	CounterAnalyticsZoneSkips = "analytics.zone_skips"
 )
 
 // EventRecord stamps one fired schedule event: its name and the actual
@@ -128,6 +137,10 @@ func (r *Report) ExecTime() time.Duration {
 // the run (Raft-ordered platforms; 0 elsewhere). A stable cluster elects
 // once and then only heartbeats.
 func (r *Report) Elections() uint64 { return r.Counters[CounterElections] }
+
+// AnalyticsQueries counts analytics queries served across the cluster
+// during the run (0 when no workload queried the index).
+func (r *Report) AnalyticsQueries() uint64 { return r.Counters[CounterAnalyticsQueries] }
 
 // CrossShardRatio reports the fraction of routed transactions that
 // touched more than one shard (0 on unsharded platforms, which expose

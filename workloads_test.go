@@ -13,7 +13,7 @@ import (
 func TestWorkloadRegistryComplete(t *testing.T) {
 	want := []string{"ycsb", "smallbank", "etherid", "doubler",
 		"wavespresale", "donothing", "ioheavy", "cpuheavy", "analytics",
-		"ycsb-scan"}
+		"ycsb-scan", "htap"}
 	names := Workloads()
 	if len(names) != len(want) {
 		t.Fatalf("registered %d workloads, want %d: %v", len(names), len(want), names)
