@@ -34,8 +34,10 @@ race:
 # on/off) and the storage-engine benchmarks (internal/kvstore: LSM
 # point reads vs history length, range scans, flat-cache hits), so all
 # those trajectories accumulate across PRs. The root set also covers
-# the analytics engine: the RPC-walk-vs-indexed query latency series at
-# 1k/10k/100k blocks and the HTAP OLTP+OLAP mix.
+# the analytics engine (the RPC-walk-vs-indexed query latency series at
+# 1k/10k/100k blocks and the HTAP OLTP+OLAP mix) and the lifecycle
+# tracer's overhead sweep (submission throughput with sampling off, at
+# the 1% default, and at sample-everything).
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem -timeout 120m -json . ./internal/txpool ./internal/mpt ./internal/consensus/raft ./internal/kvstore > BENCH_ci.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_ci.json | sed 's/"Output":"//;s/\\n$$//' || true
@@ -43,13 +45,13 @@ bench:
 # bench-check is the CI regression gate: run only the tracked benchmark
 # families (raft commit latency, shard scaling, exec scaling, txpool
 # contention, LSM point-read/range-scan, flat-cache hits, analytics
-# query latency, the HTAP mix) into
+# query latency, the HTAP mix, the lifecycle-trace overhead sweep) into
 # BENCH_new.json, then compare against the committed BENCH_ci.json
 # baseline with cmd/benchcheck's tolerance. The committed file is never
 # overwritten here — refresh it with `make bench` when a PR
 # legitimately moves the numbers.
 bench-check:
-	$(GO) test -run '^$$' -bench 'BenchmarkRaftCommitLatency|BenchmarkShardScaling|BenchmarkExecScaling|BenchmarkPoolContention|BenchmarkLSMPointRead|BenchmarkLSMRangeScan|BenchmarkFlatCacheHit|BenchmarkAnalyticsQuery|BenchmarkHTAPMix' \
+	$(GO) test -run '^$$' -bench 'BenchmarkRaftCommitLatency|BenchmarkShardScaling|BenchmarkExecScaling|BenchmarkPoolContention|BenchmarkLSMPointRead|BenchmarkLSMRangeScan|BenchmarkFlatCacheHit|BenchmarkAnalyticsQuery|BenchmarkHTAPMix|BenchmarkTraceOverhead' \
 		-benchtime 1x -benchmem -timeout 60m -json . ./internal/txpool ./internal/consensus/raft ./internal/kvstore > BENCH_new.json
 	$(GO) run ./cmd/benchcheck -baseline BENCH_ci.json -new BENCH_new.json
 

@@ -1,0 +1,53 @@
+// BenchmarkTraceOverhead gates the lifecycle tracer's cost on the
+// driver's hottest path: the open-loop submission pipeline at unlimited
+// offered rate, where every transaction pays the sampling decision and
+// sampled ones pay the per-stage stamps. The sub-benchmarks sweep the
+// sampling fraction — off (negative), the 1% production default, and
+// sample-everything — and each reports accepted submissions per second.
+// bench-check tracks the family, so a tracer change that drags the
+// sampled path down shows up as a throughput regression; the design
+// target is <5% delta between off and the 1% default.
+package blockbench_test
+
+import (
+	"testing"
+	"time"
+
+	"blockbench"
+)
+
+func BenchmarkTraceOverhead(b *testing.B) {
+	cases := []struct {
+		name   string
+		sample float64
+	}{
+		{"off", -1},
+		{"sampled", 0.01},
+		{"all", 1.0},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			var submitted float64
+			for i := 0; i < b.N; i++ {
+				w := blockbench.MustWorkload("donothing", nil)
+				c, err := blockbench.NewCluster(blockbench.ClusterConfig{
+					Kind: blockbench.Hyperledger, Nodes: 4, Contracts: w.Contracts(),
+				}, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				c.Start()
+				r, err := blockbench.Run(c, w, blockbench.RunConfig{
+					Clients: 4, Threads: 4, Rate: 0, Duration: 2 * time.Second,
+					TraceSample: tc.sample,
+				})
+				c.Stop()
+				if err != nil {
+					b.Fatal(err)
+				}
+				submitted += float64(r.Submitted) / r.Duration.Seconds()
+			}
+			b.ReportMetric(submitted/float64(b.N), "submits/s")
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"blockbench/internal/crypto"
 	"blockbench/internal/node"
+	"blockbench/internal/trace"
 	"blockbench/internal/types"
 )
 
@@ -77,7 +78,17 @@ func (c *Client) Send(op Op) (Hash, error) {
 	if err != nil {
 		return Hash{}, err
 	}
-	return c.node.SendTransaction(tx)
+	// The submit stamp opens the lifecycle span (sampling is decided
+	// here, once, from the ID) before the server can race ahead to the
+	// later stages. A rejected submission will never confirm, so its
+	// span is discarded rather than left live until the next run.
+	tracer := c.cluster.inner.Tracer()
+	tracer.Stamp(tx.Hash(), trace.StageSubmit)
+	id, err := c.node.SendTransaction(tx)
+	if err != nil {
+		tracer.Abort(tx.Hash())
+	}
+	return id, err
 }
 
 // BlocksFrom polls confirmed blocks above height h (getLatestBlock).

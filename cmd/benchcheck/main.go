@@ -7,8 +7,9 @@
 //
 // Only the tracked benchmark families are gated (raft commit latency,
 // shard scaling, exec scaling, txpool contention, LSM point-read and
-// range-scan latency, flat-cache hit latency, analytics query latency
-// and the HTAP mix — the perf tentpoles of past PRs); the figure smoke
+// range-scan latency, flat-cache hit latency, analytics query latency,
+// the HTAP mix and the lifecycle-trace overhead sweep — the perf
+// tentpoles of past PRs); the figure smoke
 // benchmarks measure fixed-duration
 // experiment runs and carry no regression signal. Within a tracked
 // result, throughput metrics (…/s) must not drop by more than the
@@ -42,6 +43,7 @@ var trackedPrefixes = []string{
 	"BenchmarkFlatCacheHit",
 	"BenchmarkAnalyticsQuery",
 	"BenchmarkHTAPMix",
+	"BenchmarkTraceOverhead",
 }
 
 // familyTol widens the tolerance for families whose metrics are

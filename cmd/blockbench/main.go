@@ -82,6 +82,8 @@ func main() {
 		records      = flag.Int("records", 0, "shorthand for -wopt records=N (YCSB records / Smallbank accounts)")
 		seed         = flag.Int64("seed", 42, "workload RNG seed")
 		out          = flag.String("out", "", "record the run to this file: .jsonl = snapshot series + final report, .csv = series only")
+		httpAddr     = flag.String("http", "", "serve the run's ops endpoint on this address (e.g. :6060): /metrics, /debug/pprof/, /healthz, /traces")
+		traceSample  = flag.Float64("trace", 0, "lifecycle trace sampling fraction (0 = default 1%, negative = off, 1 = all)")
 		quiet        = flag.Bool("quiet", false, "suppress the live progress line")
 		listP        = flag.Bool("platforms", false, "list registered platforms and exit")
 		listW        = flag.Bool("workloads", false, "list registered workloads and exit")
@@ -164,15 +166,20 @@ func main() {
 	defer cancel()
 
 	run, err := blockbench.Start(ctx, c, w, blockbench.RunConfig{
-		Clients:  *clients,
-		Threads:  *threads,
-		Rate:     *rate,
-		Blocking: *blocking,
-		Duration: *duration,
-		Seed:     *seed,
+		Clients:     *clients,
+		Threads:     *threads,
+		Rate:        *rate,
+		Blocking:    *blocking,
+		Duration:    *duration,
+		Seed:        *seed,
+		TraceSample: *traceSample,
+		HTTPAddr:    *httpAddr,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *httpAddr != "" && !*quiet {
+		fmt.Fprintf(os.Stderr, "  ops endpoint on http://%s (/metrics /debug/pprof/ /healthz /traces)\n", run.OpsAddr())
 	}
 	for snap := range run.Snapshots() {
 		if sink != nil {

@@ -11,6 +11,7 @@ import (
 	"blockbench/internal/metrics"
 	"blockbench/internal/schedule"
 	"blockbench/internal/simnet"
+	"blockbench/internal/trace"
 	"blockbench/report"
 )
 
@@ -61,6 +62,17 @@ type RunConfig struct {
 	// during the run (§3.3 injections). Fired events are stamped into
 	// the snapshot stream and the final Report.
 	Events []Event
+	// TraceSample is the fraction of transactions given a lifecycle
+	// trace (per-stage stamps through pool, consensus, execution and
+	// confirmation). 0 means the default of 1%; negative disables
+	// tracing entirely; 1 traces everything. Sampling is decided once
+	// per transaction at submit, so the unsampled fast path costs one
+	// atomic load per stamp site.
+	TraceSample float64
+	// HTTPAddr, when non-empty, serves a per-run ops endpoint on the
+	// given listen address for the lifetime of the run: /metrics
+	// (Prometheus text format), /debug/pprof/*, /healthz and /traces.
+	HTTPAddr string
 }
 
 func (cfg *RunConfig) fill() {
@@ -81,6 +93,12 @@ func (cfg *RunConfig) fill() {
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 42
+	}
+	if cfg.TraceSample == 0 {
+		cfg.TraceSample = 0.01
+	}
+	if cfg.TraceSample < 0 {
+		cfg.TraceSample = 0 // explicit off
 	}
 }
 
@@ -141,6 +159,9 @@ type Handle struct {
 	countersBefore map[string]uint64
 	startHeight    uint64
 
+	tracer *trace.Tracer
+	ops    *opsServer
+
 	snapshots chan Snapshot
 	stop      chan struct{}
 	stopOnce  sync.Once
@@ -175,6 +196,10 @@ func Start(ctx context.Context, c *Cluster, w Workload, cfg RunConfig) (*Handle,
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Arm the tracer after preloading, so init traffic is never traced
+	// and a reused cluster starts each run with fresh stage histograms.
+	tracer := c.inner.Tracer()
+	tracer.Reset(cfg.TraceSample)
 
 	start := time.Now()
 	r := &Handle{
@@ -190,6 +215,7 @@ func Start(ctx context.Context, c *Cluster, w Workload, cfg RunConfig) (*Handle,
 		netBefore:      c.inner.Net.Stats(),
 		countersBefore: c.inner.Counters(),
 		startHeight:    c.Height(),
+		tracer:         tracer,
 
 		// Sized for every bucket frame plus event-bearing frames and the
 		// final partial frame, so a consumer that drains keeps everything
@@ -209,6 +235,14 @@ func Start(ctx context.Context, c *Cluster, w Workload, cfg RunConfig) (*Handle,
 			submitCh:    make(chan Op, cfg.Threads*4),
 			outstanding: make(map[Hash]time.Time),
 		}
+	}
+
+	if cfg.HTTPAddr != "" {
+		ops, err := startOps(cfg.HTTPAddr, r)
+		if err != nil {
+			return nil, fmt.Errorf("blockbench: ops server: %w", err)
+		}
+		r.ops = ops
 	}
 
 	var workers sync.WaitGroup
@@ -252,6 +286,7 @@ func Start(ctx context.Context, c *Cluster, w Workload, cfg RunConfig) (*Handle,
 		workers.Wait()
 		r.emitSnapshot(time.Now())
 		r.finish()
+		r.ops.close() // nil-safe; endpoints serve until the report exists
 		close(r.snapshots)
 		close(r.done)
 	}()
@@ -338,6 +373,7 @@ func (r *Handle) emitSnapshot(now time.Time) {
 		LatencyP99:        r.latency.Quantile(0.99),
 		Counters:          counterDelta(r.cluster.inner.Counters(), r.countersBefore),
 		Events:            events,
+		Stages:            stageStats(r.tracer),
 	}
 	r.seq++
 	r.lastCommitted = committed
@@ -393,9 +429,43 @@ func (r *Handle) finish() {
 		MsgsDropped:  netAfter.MessagesDropped - r.netBefore.MessagesDropped,
 		Counters:     counterDelta(c.inner.Counters(), r.countersBefore),
 		Events:       events,
+		Stages:       stageStats(r.tracer),
+		Traces:       exportTraces(r.tracer),
 	}
 	rep.LatencyCDFValues, rep.LatencyCDFFractions = r.latency.CDF(40)
 	r.reportOut = rep
+}
+
+// stageStats converts the tracer's per-stage summaries into the report
+// shape. The map always carries the full stage key set, so every frame
+// and the final report expose identical keys regardless of traffic.
+func stageStats(t *trace.Tracer) map[string]report.StageStat {
+	sums := t.Summaries()
+	out := make(map[string]report.StageStat, len(sums))
+	for _, s := range sums {
+		out[s.Stage] = report.StageStat{
+			Count: s.Count, MeanS: s.Mean, P50S: s.P50, P99S: s.P99,
+		}
+	}
+	return out
+}
+
+// exportTraces copies the tracer's retained complete spans into the
+// report shape, oldest first.
+func exportTraces(t *trace.Tracer) []report.Trace {
+	recent := t.Recent()
+	if len(recent) == 0 {
+		return nil
+	}
+	out := make([]report.Trace, len(recent))
+	for i, tr := range recent {
+		stamps := make([]report.TraceStamp, len(tr.Points))
+		for j, p := range tr.Points {
+			stamps[j] = report.TraceStamp{Stage: p.Stage, OffsetNs: p.OffsetNs}
+		}
+		out[i] = report.Trace{ID: tr.ID, Stages: stamps}
+	}
+	return out
 }
 
 // counterDelta returns after-before per key, keeping zero-valued keys so
@@ -550,7 +620,7 @@ func (r *Handle) runPollers(wg *sync.WaitGroup) {
 				case <-r.stop:
 					return
 				case now := <-tick.C:
-					polledTo = pollNode(group, polledTo, now, &r.committed, &r.latency, r.commitSeries)
+					polledTo = pollNode(group, polledTo, now, &r.committed, &r.latency, r.commitSeries, r.tracer)
 					for _, cs := range group {
 						r.queueSeries.Sample(now, float64(cs.queueLen()))
 					}
@@ -599,6 +669,7 @@ func (r *Handle) runBlocking(wg *sync.WaitGroup) {
 							r.latency.Observe(time.Since(t0))
 							r.committed.Add(1)
 							r.commitSeries.Sample(time.Now(), 1)
+							r.tracer.Stamp(id, trace.StageConfirm)
 							break
 						}
 						select {
@@ -623,7 +694,7 @@ func (r *Handle) runBlocking(wg *sync.WaitGroup) {
 // client attached to that server.
 func pollNode(group []*clientState, from uint64, now time.Time,
 	committed *atomic.Uint64, latency *metrics.Histogram,
-	commitSeries *metrics.TimeSeries) uint64 {
+	commitSeries *metrics.TimeSeries, tracer *trace.Tracer) uint64 {
 
 	blocks, err := group[0].client.BlocksFrom(from)
 	if err != nil {
@@ -635,18 +706,21 @@ func pollNode(group []*clientState, from uint64, now time.Time,
 		}
 		for _, cs := range group {
 			var mine []time.Time
+			var confirmed []Hash
 			cs.mu.Lock()
 			for _, id := range b.TxIDs {
 				if t0, ok := cs.outstanding[id]; ok {
 					delete(cs.outstanding, id)
 					mine = append(mine, t0)
+					confirmed = append(confirmed, id)
 				}
 			}
 			cs.mu.Unlock()
-			for _, t0 := range mine {
+			for i, t0 := range mine {
 				latency.Observe(now.Sub(t0))
 				committed.Add(1)
 				commitSeries.Sample(now, 1)
+				tracer.Stamp(confirmed[i], trace.StageConfirm)
 			}
 		}
 	}

@@ -437,3 +437,67 @@ func TestApplyGapFails(t *testing.T) {
 		t.Fatal("applying block 5 onto an empty index succeeded")
 	}
 }
+
+func TestTimeBoundsPruneSegments(t *testing.T) {
+	src := chainSource(100, 3) // block n carries Time n*1000
+	ix := NewIndexer(nil, Options{SegmentSize: 32})
+	if err := ix.CatchUp(src); err != nil {
+		t.Fatal(err)
+	}
+
+	// The time window [90000, 95000) covers exactly blocks 90..94, so a
+	// sum bounded by time must equal the same sum bounded by height.
+	byHeight, err := ix.Query(Query{Op: OpSum, From: 90, To: 95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ix.zoneSkips.Value()
+	byTime, err := ix.Query(Query{Op: OpSum, Since: 90_000, Until: 95_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byTime.Value != byHeight.Value || byTime.Value == 0 {
+		t.Fatalf("time-bounded sum = %d, height-bounded = %d", byTime.Value, byHeight.Value)
+	}
+	if byTime.Rows != 15 {
+		t.Fatalf("time-bounded scan pulled %d rows, want 15", byTime.Rows)
+	}
+	// The timestamp zone maps must have pruned the sealed segments
+	// outside the window without reading a row.
+	if ix.zoneSkips.Value() <= before {
+		t.Fatalf("zone skips did not grow on a time-restricted scan (%d -> %d)",
+			before, ix.zoneSkips.Value())
+	}
+
+	// Half-open semantics: Until is exclusive, Since inclusive.
+	only90, err := ix.Query(Query{Op: OpSum, Since: 90_000, Until: 90_001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if only90.Rows != 3 {
+		t.Fatalf("window [90000,90001) pulled %d rows, want 3", only90.Rows)
+	}
+
+	// Time bounds compose with posting-list scans (account-driven ops).
+	topAll, err := ix.Query(Query{Op: OpTopK, Account: addr(1), K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topWin, err := ix.Query(Query{Op: OpTopK, Account: addr(1), K: 8, Since: 90_000, Until: 95_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topWin.Rows == 0 || topWin.Rows >= topAll.Rows {
+		t.Fatalf("windowed topk rows = %d, unbounded = %d; want 0 < windowed < unbounded",
+			topWin.Rows, topAll.Rows)
+	}
+
+	// An empty window prunes everything and reads nothing.
+	empty, err := ix.Query(Query{Op: OpSum, Since: 500_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Value != 0 || empty.Rows != 0 {
+		t.Fatalf("out-of-range window returned value=%d rows=%d", empty.Value, empty.Rows)
+	}
+}

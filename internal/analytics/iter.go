@@ -39,30 +39,38 @@ type Iterator[T any] interface {
 // skipping sealed segments whose height zone maps fall outside the
 // range. It is the index's table-scan access path.
 func (ix *Indexer) Scan(from, to uint64) Iterator[Row] {
-	return ix.view().scan(from, to, nil)
+	return ix.view().scan(from, to, 0, 0, nil)
 }
 
 // AccountScan streams the rows touching acct (as sender or recipient)
 // with Height in [from, to), driven by the account's posting list —
 // cost proportional to the account's own history, not the chain's.
 func (ix *Indexer) AccountScan(acct types.Address, from, to uint64) Iterator[Row] {
-	return ix.view().accountScan(acct, from, to, nil)
+	return ix.view().accountScan(acct, from, to, 0, 0, nil)
+}
+
+// timeKeep reports whether a row timestamp falls inside the half-open
+// [since, until) window; a zero bound is unbounded on that side.
+func timeKeep(t, since, until int64) bool {
+	return t >= since && (until == 0 || t < until)
 }
 
 // scanIter walks segments in order, binary-searching into the first
-// relevant row per segment and pruning sealed segments by zone map.
+// relevant row per segment and pruning sealed segments by zone map
+// (height and, when a time window is set, timestamp).
 type scanIter struct {
-	v        *view
-	from, to uint64
-	seg      int
-	pos      int // -1: segment not yet entered
-	done     bool
-	buf      []Row
-	scanned  *uint64
+	v            *view
+	from, to     uint64
+	since, until int64
+	seg          int
+	pos          int // -1: segment not yet entered
+	done         bool
+	buf          []Row
+	scanned      *uint64
 }
 
-func (v *view) scan(from, to uint64, scanned *uint64) Iterator[Row] {
-	return &scanIter{v: v, from: from, to: to, pos: -1, scanned: scanned}
+func (v *view) scan(from, to uint64, since, until int64, scanned *uint64) Iterator[Row] {
+	return &scanIter{v: v, from: from, to: to, since: since, until: until, pos: -1, scanned: scanned}
 }
 
 func (it *scanIter) Next() []Row {
@@ -95,6 +103,14 @@ func (it *scanIter) Next() []Row {
 				it.done = true
 				break
 			}
+			// Timestamp zone map: the whole segment lies outside the time
+			// window. Timestamps are not strictly monotone across
+			// segments, so this skips rather than ending the scan.
+			if s.zoned && (s.maxT < it.since || (it.until > 0 && s.minT >= it.until)) {
+				it.v.ix.zoneSkips.Inc()
+				it.seg++
+				continue
+			}
 			it.pos = sort.Search(s.rows(), func(i int) bool { return s.height[i] >= it.from })
 		}
 		for it.pos < s.rows() && len(out) < batchRows {
@@ -102,7 +118,9 @@ func (it *scanIter) Next() []Row {
 				it.done = true
 				break
 			}
-			out = append(out, it.v.rowFrom(s, it.pos))
+			if timeKeep(s.time[it.pos], it.since, it.until) {
+				out = append(out, it.v.rowFrom(s, it.pos))
+			}
 			it.pos++
 		}
 		if it.pos >= s.rows() {
@@ -125,18 +143,19 @@ func (it *scanIter) Next() []Row {
 // ids into rows. Posting lists are ascending by row id, hence by
 // height, so the height window is a contiguous slice of the list.
 type postingIter struct {
-	v        *view
-	ids      []uint32
-	i        int
-	from, to uint64
-	started  bool
-	done     bool
-	buf      []Row
-	scanned  *uint64
+	v            *view
+	ids          []uint32
+	i            int
+	from, to     uint64
+	since, until int64
+	started      bool
+	done         bool
+	buf          []Row
+	scanned      *uint64
 }
 
-func (v *view) accountScan(acct types.Address, from, to uint64, scanned *uint64) Iterator[Row] {
-	return &postingIter{v: v, ids: v.postingsFor(acct), from: from, to: to, scanned: scanned}
+func (v *view) accountScan(acct types.Address, from, to uint64, since, until int64, scanned *uint64) Iterator[Row] {
+	return &postingIter{v: v, ids: v.postingsFor(acct), from: from, to: to, since: since, until: until, scanned: scanned}
 }
 
 func (it *postingIter) Next() []Row {
@@ -156,8 +175,10 @@ func (it *postingIter) Next() []Row {
 		if s.height[p] >= it.to {
 			break
 		}
-		out = append(out, it.v.rowFrom(s, p))
-		it.v.ix.postingsHits.Inc()
+		if timeKeep(s.time[p], it.since, it.until) {
+			out = append(out, it.v.rowFrom(s, p))
+			it.v.ix.postingsHits.Inc()
+		}
 		it.i++
 	}
 	it.buf = out

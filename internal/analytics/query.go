@@ -44,6 +44,13 @@ type Query struct {
 	Account  types.Address
 	Account2 types.Address
 	K        int
+	// Since/Until bound rows by block timestamp (the half-open interval
+	// [Since, Until), in the chain's own time unit; 0 means unbounded on
+	// that side). Sealed segments record min/max timestamp zone maps, so
+	// a time bound prunes whole segments without reading a row — but
+	// unlike heights, timestamps are not strictly monotone across
+	// segments, so a pruned segment skips rather than ending the scan.
+	Since, Until int64
 }
 
 // AccountStat aggregates one account's activity in a range.
@@ -90,7 +97,7 @@ func (ix *Indexer) Query(q Query) (Result, error) {
 	case OpSum:
 		// Q1 counts value-bearing transactions whether or not they
 		// committed successfully, matching the baseline block walk.
-		it := Filter(v.scan(from, to, &scanned), func(r Row) bool {
+		it := Filter(v.scan(from, to, q.Since, q.Until, &scanned), func(r Row) bool {
 			return r.Contract == "" || (r.Contract == "versionkv" && r.Method == "sendValue")
 		})
 		res.Value = Reduce(it, uint64(0), func(acc uint64, r Row) uint64 { return acc + r.Value })
@@ -99,7 +106,7 @@ func (ix *Indexer) Query(q Query) (Result, error) {
 		// Per-block net balance movement of the account, max |net|.
 		// Transfers move balances by exactly their value (no fees in
 		// this system), so this equals the baseline's BalanceAt diffs.
-		it := Filter(v.accountScan(q.Account, from+1, to, &scanned), func(r Row) bool {
+		it := Filter(v.accountScan(q.Account, from+1, to, q.Since, q.Until, &scanned), func(r Row) bool {
 			return r.OK && r.Contract != "versionkv" && (r.Contract == "" || r.Value > 0)
 		})
 		type state struct {
@@ -128,7 +135,7 @@ func (ix *Indexer) Query(q Query) (Result, error) {
 		// value — so the largest newest-first diff over the in-range
 		// versions is the largest in-range update value, excluding the
 		// range's oldest version (it only anchors the first diff).
-		it := Filter(v.accountScan(q.Account, from, to, &scanned), func(r Row) bool {
+		it := Filter(v.accountScan(q.Account, from, to, q.Since, q.Until, &scanned), func(r Row) bool {
 			return r.OK && r.Contract == "versionkv" && (r.Method == "sendValue" || r.Method == "prealloc")
 		})
 		type state struct {
@@ -146,14 +153,14 @@ func (ix *Indexer) Query(q Query) (Result, error) {
 		res.Value = st.best
 
 	case OpTopK:
-		res.Top = TopAccounts(v.counterpartyStats(q.Account, from, to, &scanned), topK(q.K))
+		res.Top = TopAccounts(v.counterpartyStats(q.Account, from, to, q.Since, q.Until, &scanned), topK(q.K))
 
 	case OpCommon:
 		// Join the two accounts' counterparty aggregates on the
 		// counterparty address; shared counterparties rank by combined
 		// activity.
-		a := v.counterpartyStats(q.Account, from, to, &scanned)
-		b := v.counterpartyStats(q.Account2, from, to, &scanned)
+		a := v.counterpartyStats(q.Account, from, to, q.Since, q.Until, &scanned)
+		b := v.counterpartyStats(q.Account2, from, to, q.Since, q.Until, &scanned)
 		joined := HashJoin(
 			SliceIter(a), func(s AccountStat) types.Address { return s.Account },
 			SliceIter(b), func(s AccountStat) types.Address { return s.Account },
@@ -174,9 +181,9 @@ func (ix *Indexer) Query(q Query) (Result, error) {
 
 // counterpartyStats aggregates the per-counterparty count and value
 // sum of the committed rows touching acct in [from, to).
-func (v *view) counterpartyStats(acct types.Address, from, to uint64, scanned *uint64) []AccountStat {
+func (v *view) counterpartyStats(acct types.Address, from, to uint64, since, until int64, scanned *uint64) []AccountStat {
 	var zero types.Address
-	it := Filter(v.accountScan(acct, from, to, scanned), func(r Row) bool { return r.OK })
+	it := Filter(v.accountScan(acct, from, to, since, until, scanned), func(r Row) bool { return r.OK })
 	m := Reduce(it, make(map[types.Address]*AccountStat), func(m map[types.Address]*AccountStat, r Row) map[types.Address]*AccountStat {
 		cp := r.From
 		if cp == acct {

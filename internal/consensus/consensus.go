@@ -8,6 +8,7 @@ package consensus
 import (
 	"blockbench/internal/ledger"
 	"blockbench/internal/simnet"
+	"blockbench/internal/trace"
 	"blockbench/internal/txpool"
 	"blockbench/internal/types"
 )
@@ -28,6 +29,9 @@ type Context struct {
 	Pool     *txpool.Pool
 	Address  types.Address
 	Peers    []simnet.NodeID // all nodes including self
+	// Tracer is the cluster's lifecycle tracer (nil-safe); engines stamp
+	// StagePropose when a proposal first includes a transaction.
+	Tracer *trace.Tracer
 }
 
 // Engine is a consensus protocol instance driving one node.

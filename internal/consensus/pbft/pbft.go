@@ -23,6 +23,7 @@ import (
 	"blockbench/internal/consensus"
 	"blockbench/internal/merkle"
 	"blockbench/internal/simnet"
+	"blockbench/internal/trace"
 	"blockbench/internal/types"
 )
 
@@ -270,6 +271,9 @@ func (e *Engine) maybeProposeLocked() {
 		}
 		seq := e.nextSeq
 		e.nextSeq++
+		for _, tx := range txs {
+			e.ctx.Tracer.Stamp(tx.Hash(), trace.StagePropose)
+		}
 		pp := &PrePrepare{View: e.view, Seq: seq, Txs: txs}
 		inst := e.getInstance(seq, e.view, txs)
 		inst.prepares[e.ctx.Self] = true // primary's pre-prepare counts

@@ -39,6 +39,7 @@ import (
 	"blockbench/internal/consensus"
 	"blockbench/internal/merkle"
 	"blockbench/internal/simnet"
+	"blockbench/internal/trace"
 	"blockbench/internal/types"
 )
 
@@ -693,6 +694,7 @@ func (e *Engine) proposeLocked(now time.Time) bool {
 		}
 		for _, tx := range txs {
 			e.assigned[tx.Hash()] = true
+			e.ctx.Tracer.Stamp(tx.Hash(), trace.StagePropose)
 		}
 		e.log = append(e.log, Entry{Term: e.term, Txs: txs})
 		e.lastProposal = now

@@ -15,6 +15,7 @@ import (
 	"blockbench/internal/exec"
 	"blockbench/internal/merkle"
 	"blockbench/internal/state"
+	"blockbench/internal/trace"
 	"blockbench/internal/types"
 )
 
@@ -77,6 +78,12 @@ type Config struct {
 	// The hook runs under the chain lock: it must be fast and must not
 	// call back into the chain.
 	OnCommit func(blocks []*types.Block, receipts [][]*types.Receipt)
+	// Tracer is the cluster's lifecycle tracer (nil-safe). The chain
+	// stamps StagePropose when a candidate block includes a transaction,
+	// StageOrder when an accepted block carries it, and
+	// StageExecute/StageStateCommit around the accepted block's
+	// execution and state commit.
+	Tracer *trace.Tracer
 }
 
 type entry struct {
@@ -185,9 +192,19 @@ func (c *Chain) execute(parent *entry, b *types.Block) (types.Hash, []*types.Rec
 		r.BlockHash = b.Hash()
 		gasUsed += r.GasUsed
 	}
+	if c.cfg.Tracer.Enabled() {
+		for _, tx := range b.Txs {
+			c.cfg.Tracer.Stamp(tx.Hash(), trace.StageExecute)
+		}
+	}
 	root, err := db.Commit()
 	if err != nil {
 		return types.ZeroHash, nil, 0, fmt.Errorf("ledger: state commit: %w", err)
+	}
+	if c.cfg.Tracer.Enabled() {
+		for _, tx := range b.Txs {
+			c.cfg.Tracer.Stamp(tx.Hash(), trace.StageStateCommit)
+		}
 	}
 	return root, receipts, gasUsed, nil
 }
@@ -215,6 +232,11 @@ func (c *Chain) Append(b *types.Block) error {
 	}
 	if txRoot := merkle.TxRoot(b.Txs); !b.Header.TxRoot.IsZero() && txRoot != b.Header.TxRoot {
 		return fmt.Errorf("%w: tx root mismatch", ErrBadBlock)
+	}
+	if c.cfg.Tracer.Enabled() {
+		for _, tx := range b.Txs {
+			c.cfg.Tracer.Stamp(tx.Hash(), trace.StageOrder)
+		}
 	}
 
 	root, receipts, gasUsed, err := c.execute(parent, b)
@@ -355,6 +377,14 @@ func (c *Chain) ProposeBlock(txs []*types.Transaction, proposer types.Address, d
 	root, err := db.Commit()
 	if err != nil {
 		return nil, fmt.Errorf("ledger: propose commit: %w", err)
+	}
+	// Speculative execution above is not the block's canonical execution,
+	// so only the propose stage is stamped here; execute/state_commit are
+	// stamped when the block is accepted through Append.
+	if c.cfg.Tracer.Enabled() {
+		for _, tx := range included {
+			c.cfg.Tracer.Stamp(tx.Hash(), trace.StagePropose)
+		}
 	}
 	b := &types.Block{
 		Header: types.Header{

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -116,5 +117,126 @@ func TestTimeSeriesSumAndAverage(t *testing.T) {
 	}
 	if sum.BucketSeconds() != 1 {
 		t.Fatal("bucket seconds wrong")
+	}
+}
+
+func TestFixedHistogramObserveAndQuantile(t *testing.T) {
+	var h FixedHistogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty FixedHistogram should report zeros")
+	}
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got, want := h.Sum(), 500.5; got < want*0.999 || got > want*1.001 {
+		t.Fatalf("sum = %v, want ~%v", got, want)
+	}
+	// Bucket width is 10^0.1 ≈ 1.26; estimates must land within ±30%.
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, 0.500}, {0.99, 0.990}, {0.10, 0.100},
+	} {
+		got := h.Quantile(tc.q)
+		if got < tc.want*0.7 || got > tc.want*1.3 {
+			t.Fatalf("q=%v estimate %v, want within 30%% of %v", tc.q, got, tc.want)
+		}
+	}
+	// Quantile must be monotone in q.
+	prev := -1.0
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestFixedHistogramExtremes(t *testing.T) {
+	var h FixedHistogram
+	h.Observe(-time.Second)       // clamps to 0 → bucket 0
+	h.Observe(0)                  // bucket 0
+	h.Observe(time.Nanosecond)    // below min → bucket 0
+	h.Observe(1000 * time.Second) // beyond max decade → overflow bucket
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	bounds, cum := h.Buckets()
+	if cum[0] != 3 {
+		t.Fatalf("underflow bucket holds %d, want 3", cum[0])
+	}
+	last := len(cum) - 1
+	if cum[last] != 4 || cum[last-1] != 3 {
+		t.Fatalf("overflow bucket miscounted: %v", cum[last-2:])
+	}
+	if !math.IsInf(bounds[last], 1) {
+		t.Fatal("last bound must be +Inf")
+	}
+	// An overflow-dominated quantile reports the finite floor, not Inf.
+	if v := h.Quantile(1.0); math.IsInf(v, 1) || v <= 0 {
+		t.Fatalf("overflow quantile = %v", v)
+	}
+}
+
+func TestFixedHistogramMergeAndReset(t *testing.T) {
+	var a, b FixedHistogram
+	for i := 1; i <= 100; i++ {
+		a.Observe(time.Duration(i) * time.Millisecond)
+		b.Observe(time.Duration(i) * time.Microsecond)
+	}
+	a.Merge(&b)
+	a.Merge(nil)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	wantSum := 5.05 + 0.00505
+	if got := a.Sum(); got < wantSum*0.999 || got > wantSum*1.001 {
+		t.Fatalf("merged sum = %v, want ~%v", got, wantSum)
+	}
+	_, cum := a.Buckets()
+	if cum[len(cum)-1] != 200 {
+		t.Fatal("cumulative buckets disagree with count")
+	}
+	a.Reset()
+	if a.Count() != 0 || a.Sum() != 0 || a.Quantile(0.5) != 0 {
+		t.Fatal("reset did not clear histogram")
+	}
+}
+
+func TestFixedBucketBoundaries(t *testing.T) {
+	// Every bound must land in its own bucket (inclusive upper bound),
+	// and a hair above it in the next.
+	for i := 0; i < fixedBucketCount-1; i++ {
+		b := fixedBounds[i]
+		if got := fixedBucketOf(b); got != i && !(i == 0 && got == 0) {
+			t.Fatalf("bound %v landed in bucket %d, want %d", b, got, i)
+		}
+		if got := fixedBucketOf(b * 1.0001); got != i+1 {
+			t.Fatalf("just above bound %v landed in bucket %d, want %d", b, got, i+1)
+		}
+	}
+}
+
+func TestFixedHistogramConcurrent(t *testing.T) {
+	var h FixedHistogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(g*1000+i) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	_, cum := h.Buckets()
+	if cum[len(cum)-1] != 8000 {
+		t.Fatal("bucket counts lost samples")
 	}
 }

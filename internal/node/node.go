@@ -17,6 +17,7 @@ import (
 	"blockbench/internal/exec"
 	"blockbench/internal/ledger"
 	"blockbench/internal/simnet"
+	"blockbench/internal/trace"
 	"blockbench/internal/txpool"
 	"blockbench/internal/types"
 )
@@ -64,6 +65,10 @@ type Config struct {
 	// Registry.
 	VerifyIngress bool
 	Registry      *crypto.Registry
+
+	// Tracer is the cluster's lifecycle tracer (nil-safe), handed to the
+	// consensus engine through its Context.
+	Tracer *trace.Tracer
 }
 
 // Router intercepts the client-facing transaction path. A consensus
@@ -136,6 +141,7 @@ func New(cfg Config) *Node {
 		Pool:     cfg.Pool,
 		Address:  cfg.Key.Address(),
 		Peers:    cfg.Peers,
+		Tracer:   cfg.Tracer,
 	}
 	n.cons = cfg.NewConsensus(ctx)
 	if r, ok := n.cons.(Router); ok {

@@ -31,6 +31,7 @@ import (
 	"blockbench/internal/metrics"
 	"blockbench/internal/node"
 	"blockbench/internal/simnet"
+	"blockbench/internal/trace"
 	"blockbench/internal/txpool"
 	"blockbench/internal/types"
 )
@@ -175,8 +176,14 @@ type Cluster struct {
 	// indexers holds each node's analytics indexer (nil entries when
 	// the index is disabled).
 	indexers []*analytics.Indexer
-	cfg      Config
+	// tracer is the cluster-wide lifecycle tracer every component stamps
+	// into; disabled until the driver arms it for a run.
+	tracer *trace.Tracer
+	cfg    Config
 }
+
+// Tracer returns the cluster's lifecycle tracer.
+func (c *Cluster) Tracer() *trace.Tracer { return c.tracer }
 
 // New builds (but does not start) a cluster of the registered platform
 // named by cfg.Kind.
@@ -196,7 +203,7 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 	}
-	c := &Cluster{Kind: cfg.Kind, preset: p, cfg: cfg}
+	c := &Cluster{Kind: cfg.Kind, preset: p, cfg: cfg, tracer: trace.New()}
 	c.Net = simnet.New(cfg.Net)
 
 	peers := make([]simnet.NodeID, cfg.Nodes)
@@ -281,6 +288,7 @@ func (c *Cluster) buildNode(i int, peers []simnet.NodeID, env *Env,
 	reg := env.newRegistry()
 
 	pool := txpool.New(1 << 20)
+	pool.SetTracer(c.tracer)
 	var ledgerGas uint64
 	if p.GasLimit != nil {
 		ledgerGas = p.GasLimit(cfg)
@@ -310,6 +318,7 @@ func (c *Cluster) buildNode(i int, peers []simnet.NodeID, env *Env,
 		GenesisAlloc:  alloc,
 		OnInclude:     pool.MarkIncluded,
 		OnReorg:       pool.Reinject,
+		Tracer:        c.tracer,
 	}
 	if idx != nil {
 		lcfg.OnCommit = idx.OnCommit
@@ -340,6 +349,7 @@ func (c *Cluster) buildNode(i int, peers []simnet.NodeID, env *Env,
 		RPCLatency:        cfg.RPCLatency,
 		ConfirmationDepth: depth,
 		Analytics:         idx,
+		Tracer:            c.tracer,
 	}
 	if p.ServerSigns {
 		ncfg.ServerSigns = true

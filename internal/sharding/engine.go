@@ -204,6 +204,11 @@ func New(ctx consensus.Context, opts Options) *Engine {
 	innerCtx.Peers = groups[shard]
 	ropts := opts.Raft
 	ropts.Seed = opts.Seed
+	// The gateway's outbound queue is the admission point for traffic a
+	// gateway accepts on behalf of other shards, so it stamps the same
+	// lifecycle stages as a node's own pool.
+	outbound := txpool.New(opts.OutboundLimit)
+	outbound.SetTracer(ctx.Tracer)
 	return &Engine{
 		ctx:      ctx,
 		opts:     opts,
@@ -212,7 +217,7 @@ func New(ctx consensus.Context, opts Options) *Engine {
 		shard:    shard,
 		member:   member,
 		inner:    raft.New(innerCtx, ropts),
-		outbound: txpool.New(opts.OutboundLimit),
+		outbound: outbound,
 		coord:    make(map[types.Hash]*coordState),
 		locks:    make(map[string]lockEntry),
 		txLocks:  make(map[types.Hash][]string),

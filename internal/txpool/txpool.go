@@ -15,6 +15,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"blockbench/internal/trace"
 	"blockbench/internal/types"
 )
 
@@ -50,6 +51,7 @@ type Pool struct {
 	length atomic.Int64
 	limit  int
 	notify chan struct{}
+	tracer *trace.Tracer
 }
 
 // New creates a pool that holds at most limit pending transactions
@@ -63,6 +65,11 @@ func New(limit int) *Pool {
 	}
 	return p
 }
+
+// SetTracer attaches the cluster's lifecycle tracer; sampled
+// transactions are stamped at pool admission (Add) and batch pickup
+// (Batch). Call before the pool is shared across goroutines.
+func (p *Pool) SetTracer(t *trace.Tracer) { p.tracer = t }
 
 // Notify returns the pool's admission signal: a 1-buffered channel that
 // receives (coalesced, non-blocking) whenever a transaction enters the
@@ -99,6 +106,7 @@ func (p *Pool) Add(tx *types.Transaction) bool {
 	s.index[h] = len(s.pending)
 	s.pending = append(s.pending, entry{tx: tx, hash: h, seq: p.seq.Add(1)})
 	p.length.Add(1)
+	p.tracer.Stamp(h, trace.StageAdmit)
 	p.signal()
 	return true
 }
@@ -156,6 +164,7 @@ func (p *Pool) Batch(maxTxs int, gasLimit uint64) []*types.Transaction {
 		}
 		cursor[best]++
 		gas += e.tx.GasLimit
+		p.tracer.Stamp(e.hash, trace.StageBatch)
 		out = append(out, e.tx)
 	}
 	return out

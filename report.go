@@ -14,6 +14,10 @@ type (
 	Report = report.Report
 	// Snapshot is one per-bucket frame of a live run's metric stream.
 	Snapshot = report.Snapshot
+	// StageStat is one pipeline stage's sampled latency statistics.
+	StageStat = report.StageStat
+	// Trace is one complete sampled transaction lifecycle.
+	Trace = report.Trace
 	// Sink consumes a run's snapshot stream and final report (JSONL and
 	// CSV implementations ship in the report package).
 	Sink = report.Sink

@@ -118,6 +118,40 @@ type Report struct {
 	// Events is the stamped timeline of scheduled fault/attack events
 	// executed during the run, in firing order.
 	Events []EventRecord `json:"events,omitempty"`
+
+	// Stages maps each lifecycle stage name (submit, admit, batch,
+	// propose, order, execute, state_commit, confirm) to its sampled
+	// latency statistics — the layered "where does the latency go"
+	// breakdown. Always carries the full stage key set; stages no
+	// sampled transaction crossed report zero counts.
+	Stages map[string]StageStat `json:"stages"`
+
+	// Traces holds the most recent complete sampled lifecycle spans
+	// (bounded by the tracer's ring), oldest first.
+	Traces []Trace `json:"traces,omitempty"`
+}
+
+// StageStat is one pipeline stage's sampled latency statistics, in
+// seconds, measured from the previous stamped stage. The submit stage is
+// the span epoch: it reports only how many spans were opened.
+type StageStat struct {
+	Count uint64  `json:"count"`
+	MeanS float64 `json:"mean_s"`
+	P50S  float64 `json:"p50_s"`
+	P99S  float64 `json:"p99_s"`
+}
+
+// TraceStamp is one stage crossing of an exported trace, as an offset
+// from the span's submit stamp.
+type TraceStamp struct {
+	Stage    string `json:"stage"`
+	OffsetNs int64  `json:"offset_ns"`
+}
+
+// Trace is one complete sampled transaction lifecycle.
+type Trace struct {
+	ID     string       `json:"id"`
+	Stages []TraceStamp `json:"stages"`
 }
 
 // Counter returns one named platform counter (0 when absent).

@@ -36,4 +36,9 @@ type Snapshot struct {
 	// Events names the scheduled fault/attack events that fired since the
 	// previous frame, in firing order.
 	Events []string `json:"events,omitempty"`
+
+	// Stages maps each lifecycle stage name to its sampled latency
+	// statistics so far (same full key set as Report.Stages, in every
+	// frame).
+	Stages map[string]StageStat `json:"stages"`
 }
