@@ -175,28 +175,62 @@ func (c *Cluster) Client(i int) *Client {
 // ClientOn returns a connector for client identity i attached to a
 // specific server.
 func (c *Cluster) ClientOn(i, server int) *Client {
-	return &Client{
+	cl := &Client{
 		cluster:   c,
 		key:       c.keys[i],
-		node:      c.inner.Node(server),
 		signLocal: !c.inner.ServerSigns(),
 		id:        i,
 	}
+	cl.server.Store(int32(server))
+	return cl
 }
 
-// Fault and attack injection (§3.3 of the paper).
+// Fault and attack injection (§3.3 of the paper, extended with real
+// process-kill semantics and link-level chaos).
 
-// Crash kills node i (crash failure mode).
+// Crash process-kills node i: consensus engine, transaction pool and
+// uncommitted ledger tail are torn down; only the node's persisted
+// store survives for Recover.
 func (c *Cluster) Crash(i int) { c.inner.Crash(i) }
 
-// Recover restores a crashed node.
+// Recover restarts a killed node from its persisted store (WAL replay
+// and chain journal on durable platforms, chain sync otherwise), or
+// restores connectivity to a merely muted node.
 func (c *Cluster) Recover(i int) { c.inner.Recover(i) }
+
+// Mute suppresses node i's network traffic without killing the process
+// (the paper's original fail-stop mode); Unmute restores it.
+func (c *Cluster) Mute(i int) { c.inner.Mute(i) }
+
+// Unmute restores a muted node's connectivity.
+func (c *Cluster) Unmute(i int) { c.inner.Unmute(i) }
+
+// Down reports whether node i is currently process-killed.
+func (c *Cluster) Down(i int) bool { return c.inner.Down(i) }
+
+// Restarts counts node i's crash-recoveries.
+func (c *Cluster) Restarts(i int) uint64 { return c.inner.Restarts(i) }
+
+// ShardOf returns the shard group whose canonical chain node i follows
+// (0 on single-chain platforms).
+func (c *Cluster) ShardOf(i int) int { return c.inner.ShardOf(i) }
 
 // PartitionHalves splits the network into [0,k) and [k,N) — the
 // double-spending / selfish-mining attack simulation.
 func (c *Cluster) PartitionHalves(k int) { c.inner.PartitionHalves(k) }
 
-// Heal removes the partition.
+// PartitionGroups installs an arbitrary (possibly asymmetric) multi-way
+// partition; unlisted nodes form an implicit group of their own.
+func (c *Cluster) PartitionGroups(groups [][]int) { c.inner.PartitionGroups(groups) }
+
+// SetLinkFaults installs probabilistic drop/duplicate/reorder faults on
+// messages sent by the given nodes (all nodes when none are named); a
+// zero profile clears them.
+func (c *Cluster) SetLinkFaults(drop, dup, reorder float64, nodes ...int) {
+	c.inner.SetLinkFaults(drop, dup, reorder, nodes...)
+}
+
+// Heal removes partitions and blocked links.
 func (c *Cluster) Heal() { c.inner.Heal() }
 
 // SetDelay injects extra message delay at the given nodes.

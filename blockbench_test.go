@@ -44,16 +44,44 @@ func fastCluster(t *testing.T, kind Platform, nodes, clients int, contracts ...s
 	return c
 }
 
+// waitHeightAtLeast blocks until node 0's chain reaches height h.
+func waitHeightAtLeast(t *testing.T, c *Cluster, h uint64, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for c.NodeHeight(0) < h {
+		if time.Now().After(deadline) {
+			t.Fatalf("height %d not reached within %v (at %d)", h, timeout, c.NodeHeight(0))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
 func TestDriverYCSBAllPlatforms(t *testing.T) {
 	for _, kind := range Platforms() {
 		kind := kind
 		t.Run(string(kind), func(t *testing.T) {
 			c := fastCluster(t, kind, 4, 4)
+			duration := 3 * time.Second
+			if kind == Ethereum {
+				// PoW block cadence depends on host hash throughput — the
+				// race detector alone slows it an order of magnitude, and a
+				// fixed window can elapse before any transaction reaches
+				// confirmation depth. Measure the cluster's real cadence
+				// (difficulty has retargeted after a couple of blocks) and
+				// size the window so a depth-confirmed commit always fits.
+				waitHeightAtLeast(t, c, 1, 2*time.Minute)
+				base, start := c.NodeHeight(0), time.Now()
+				waitHeightAtLeast(t, c, base+2, 2*time.Minute)
+				perBlock := time.Since(start) / 2
+				if d := time.Duration(c.Inner().ConfirmationDepth()+8) * perBlock; d > duration {
+					duration = d
+				}
+			}
 			r, err := Run(c, &YCSBWorkload{Records: 100}, RunConfig{
 				Clients:  4,
 				Threads:  2,
 				Rate:     40,
-				Duration: 3 * time.Second,
+				Duration: duration,
 			})
 			if err != nil {
 				t.Fatal(err)

@@ -29,7 +29,7 @@ const DefaultGasLimit = 500_000
 type Client struct {
 	cluster   *Cluster
 	key       *crypto.Key
-	node      *node.Node
+	server    atomic.Int32
 	signLocal bool
 	id        int
 	nonce     atomic.Uint64
@@ -40,7 +40,18 @@ func (c *Client) ID() int { return c.id }
 
 // Server returns the index of the server node this client submits to
 // and polls.
-func (c *Client) Server() int { return int(c.node.ID()) }
+func (c *Client) Server() int { return int(c.server.Load()) }
+
+// Failover re-points the client at another server, keeping its identity
+// and nonce sequence (rebuilding the client would restart the nonce and
+// collide with transactions already committed). The driver calls it
+// when submissions to the current server keep failing.
+func (c *Client) Failover(server int) { c.server.Store(int32(server)) }
+
+// nodeRef resolves the server index to its current incarnation on every
+// call: after a crash-recovery the previous *node.Node is a stopped
+// husk, so holding a pointer across calls would wedge the client.
+func (c *Client) nodeRef() *node.Node { return c.cluster.nodeAt(int(c.server.Load())) }
 
 // Address returns the client's account address.
 func (c *Client) Address() Address { return c.key.Address() }
@@ -84,7 +95,7 @@ func (c *Client) Send(op Op) (Hash, error) {
 	// span is discarded rather than left live until the next run.
 	tracer := c.cluster.inner.Tracer()
 	tracer.Stamp(tx.Hash(), trace.StageSubmit)
-	id, err := c.node.SendTransaction(tx)
+	id, err := c.nodeRef().SendTransaction(tx)
 	if err != nil {
 		tracer.Abort(tx.Hash())
 	}
@@ -93,15 +104,15 @@ func (c *Client) Send(op Op) (Hash, error) {
 
 // BlocksFrom polls confirmed blocks above height h (getLatestBlock).
 func (c *Client) BlocksFrom(h uint64) ([]node.BlockInfo, error) {
-	return c.node.BlocksFrom(h)
+	return c.nodeRef().BlocksFrom(h)
 }
 
 // Height returns the confirmed chain height at the client's server.
-func (c *Client) Height() (uint64, error) { return c.node.Height() }
+func (c *Client) Height() (uint64, error) { return c.nodeRef().Height() }
 
 // Committed reports whether the transaction is on the confirmed chain.
 func (c *Client) Committed(id Hash) (bool, error) {
-	r, ok, err := c.node.Receipt(id)
+	r, ok, err := c.nodeRef().Receipt(id)
 	if err != nil || !ok {
 		return false, err
 	}
@@ -111,23 +122,23 @@ func (c *Client) Committed(id Hash) (bool, error) {
 
 // Query runs a read-only contract method at the client's server.
 func (c *Client) Query(contract, method string, args ...[]byte) ([]byte, error) {
-	return c.node.Query(contract, method, args)
+	return c.nodeRef().Query(contract, method, args)
 }
 
 // Analytics runs one server-side analytics query at the client's
 // server — the indexed read path behind `-wopt mode=indexed`: the
 // whole historical scan costs a single round trip.
 func (c *Client) Analytics(q AnalyticsQuery) (AnalyticsResult, error) {
-	return c.node.AnalyticsQuery(q)
+	return c.nodeRef().AnalyticsQuery(q)
 }
 
 // Block fetches a full block (analytics Q1 uses one RPC per block).
 func (c *Client) Block(number uint64) (*types.Block, error) {
-	return c.node.Block(number)
+	return c.nodeRef().Block(number)
 }
 
 // BalanceAt reads an account balance at a block height (analytics Q2 on
 // Ethereum/Parity: one RPC per block scanned).
 func (c *Client) BalanceAt(addr Address, number uint64) (uint64, error) {
-	return c.node.BalanceAt(addr, number)
+	return c.nodeRef().BalanceAt(addr, number)
 }

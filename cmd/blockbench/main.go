@@ -84,6 +84,7 @@ func main() {
 		out          = flag.String("out", "", "record the run to this file: .jsonl = snapshot series + final report, .csv = series only")
 		httpAddr     = flag.String("http", "", "serve the run's ops endpoint on this address (e.g. :6060): /metrics, /debug/pprof/, /healthz, /traces")
 		traceSample  = flag.Float64("trace", 0, "lifecycle trace sampling fraction (0 = default 1%, negative = off, 1 = all)")
+		chaos        = flag.String("chaos", "", "randomized fault injection: seed=N,kill=p,net=p (empty values take defaults); safety invariants are checked and violations fail the run")
 		quiet        = flag.Bool("quiet", false, "suppress the live progress line")
 		listP        = flag.Bool("platforms", false, "list registered platforms and exit")
 		listW        = flag.Bool("workloads", false, "list registered workloads and exit")
@@ -165,6 +166,10 @@ func main() {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
 
+	chaosOpts, err := parseChaos(*chaos)
+	if err != nil {
+		fatal(err)
+	}
 	run, err := blockbench.Start(ctx, c, w, blockbench.RunConfig{
 		Clients:     *clients,
 		Threads:     *threads,
@@ -174,6 +179,7 @@ func main() {
 		Seed:        *seed,
 		TraceSample: *traceSample,
 		HTTPAddr:    *httpAddr,
+		Chaos:       chaosOpts,
 	})
 	if err != nil {
 		fatal(err)
@@ -243,6 +249,53 @@ func main() {
 	if *out != "" {
 		fmt.Printf("  series: %s\n", *out)
 	}
+	if report.ChaosSeed != 0 {
+		fmt.Printf("  chaos: seed=%d (rerun with -chaos seed=%d to reproduce the fault timeline)\n",
+			report.ChaosSeed, report.ChaosSeed)
+	}
+	if len(report.Invariants) > 0 {
+		fmt.Fprintf(os.Stderr, "SAFETY INVARIANT VIOLATIONS (%d):\n", len(report.Invariants))
+		for _, v := range report.Invariants {
+			fmt.Fprintf(os.Stderr, "  - %s\n", v)
+		}
+		os.Exit(2)
+	}
+}
+
+// parseChaos interprets the -chaos flag: "seed=N,kill=p,net=p", every
+// key optional ("-chaos seed=7" works), empty string = off.
+func parseChaos(spec string) (*blockbench.ChaosOptions, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	opts := &blockbench.ChaosOptions{}
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("chaos option %q is not key=val", kv)
+		}
+		switch k {
+		case "seed":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("chaos seed %q: %w", v, err)
+			}
+			opts.Seed = n
+		case "kill", "net":
+			p, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, fmt.Errorf("chaos %s %q: %w", k, v, err)
+			}
+			if k == "kill" {
+				opts.Kill = p
+			} else {
+				opts.Net = p
+			}
+		default:
+			return nil, fmt.Errorf("unknown chaos option %q (want seed, kill, net)", k)
+		}
+	}
+	return opts, nil
 }
 
 func fatal(err error) {

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"blockbench/internal/invariant"
 	"blockbench/internal/metrics"
 	"blockbench/internal/schedule"
 	"blockbench/internal/simnet"
@@ -73,6 +74,43 @@ type RunConfig struct {
 	// given listen address for the lifetime of the run: /metrics
 	// (Prometheus text format), /debug/pprof/*, /healthz and /traces.
 	HTTPAddr string
+	// Chaos, when set, generates a seeded randomized fault timeline —
+	// process kills with later recovery, asymmetric partitions, lossy
+	// links — and appends it to Events. Setting it also turns on
+	// CheckInvariants, so a chaos run that breaks safety fails loudly
+	// with the seed that reproduces it.
+	Chaos *ChaosOptions
+	// CheckInvariants runs the always-on safety checks: per-node commit
+	// monotonicity sampled every bucket, committed-prefix agreement and
+	// cross-shard accounting at the end of the run, plus any invariant
+	// the workload itself exposes. Violations land in Report.Invariants.
+	// Defaults on whenever Chaos is set.
+	CheckInvariants bool
+}
+
+// ChaosOptions configures randomized fault injection for one run (the
+// -chaos flag). The zero value of a field picks its default; set a
+// probability negative to disable that fault axis entirely.
+type ChaosOptions struct {
+	// Seed drives the fault timeline; 0 uses RunConfig.Seed. The seed is
+	// echoed in the Report so any interleaving reproduces exactly.
+	Seed int64
+	// Kill is the per-tick per-node process-kill probability (default
+	// 0.02; ticks are 250ms). Killed nodes recover a few ticks later,
+	// and no more than a minority is ever down at once.
+	Kill float64
+	// Net is the per-tick probability of starting a network fault —
+	// an asymmetric minority partition or a lossy/reordering link
+	// profile (default 0.05). One network fault is active at a time.
+	Net float64
+}
+
+// WorkloadInvariants is implemented by workloads that can audit their
+// own application-level safety invariants after a run (smallbank's
+// balance conservation, for example). The driver calls it once at the
+// end of a checked run and merges the violations into the report.
+type WorkloadInvariants interface {
+	CheckInvariants(c *Cluster) []string
 }
 
 func (cfg *RunConfig) fill() {
@@ -151,6 +189,7 @@ type Handle struct {
 	submitted    atomic.Uint64
 	committed    atomic.Uint64
 	submitErrors atomic.Uint64
+	failovers    atomic.Uint64
 	latency      metrics.Histogram
 	queueSeries  *metrics.TimeSeries
 	commitSeries *metrics.TimeSeries
@@ -159,8 +198,10 @@ type Handle struct {
 	countersBefore map[string]uint64
 	startHeight    uint64
 
-	tracer *trace.Tracer
-	ops    *opsServer
+	tracer    *trace.Tracer
+	ops       *opsServer
+	inv       *invariant.Checker // nil when invariant checking is off
+	chaosSeed int64
 
 	snapshots chan Snapshot
 	stop      chan struct{}
@@ -196,6 +237,33 @@ func Start(ctx context.Context, c *Cluster, w Workload, cfg RunConfig) (*Handle,
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Expand the chaos options into a concrete seeded fault timeline and
+	// append it to the declarative event list — from here on chaos is
+	// just more scheduled events, stamped into snapshots like any other.
+	var chaosSeed int64
+	if cfg.Chaos != nil {
+		chaosSeed = cfg.Chaos.Seed
+		if chaosSeed == 0 {
+			chaosSeed = cfg.Seed
+		}
+		kill, net := cfg.Chaos.Kill, cfg.Chaos.Net
+		if kill == 0 {
+			kill = 0.02
+		}
+		if net == 0 {
+			net = 0.05
+		}
+		timeline := schedule.Chaos(schedule.ChaosConfig{
+			Seed:     chaosSeed,
+			Duration: cfg.Duration,
+			Nodes:    c.Size(),
+			KillProb: max(kill, 0),
+			NetProb:  max(net, 0),
+		})
+		cfg.Events = append(append([]Event(nil), cfg.Events...), timeline...)
+		cfg.CheckInvariants = true
+	}
+
 	// Arm the tracer after preloading, so init traffic is never traced
 	// and a reused cluster starts each run with fresh stage histograms.
 	tracer := c.inner.Tracer()
@@ -216,6 +284,7 @@ func Start(ctx context.Context, c *Cluster, w Workload, cfg RunConfig) (*Handle,
 		countersBefore: c.inner.Counters(),
 		startHeight:    c.Height(),
 		tracer:         tracer,
+		chaosSeed:      chaosSeed,
 
 		// Sized for every bucket frame plus event-bearing frames and the
 		// final partial frame, so a consumer that drains keeps everything
@@ -224,6 +293,9 @@ func Start(ctx context.Context, c *Cluster, w Workload, cfg RunConfig) (*Handle,
 		snapshots: make(chan Snapshot, int(cfg.Duration/cfg.Bucket)+len(cfg.Events)+16),
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
+	}
+	if cfg.CheckInvariants {
+		r.inv = invariant.New()
 	}
 
 	r.states = make([]*clientState, cfg.Clients)
@@ -350,6 +422,11 @@ func (r *Handle) snapshotLoop() {
 
 // emitSnapshot assembles and (non-blockingly) publishes one frame.
 func (r *Handle) emitSnapshot(now time.Time) {
+	if r.inv != nil {
+		// Per-frame safety sampling: commit indexes must stay monotone on
+		// every live node that hasn't restarted since the last frame.
+		r.inv.ObserveHeights(r.cluster.inner)
+	}
 	queue := 0
 	for _, cs := range r.states {
 		queue += cs.queueLen()
@@ -375,6 +452,7 @@ func (r *Handle) emitSnapshot(now time.Time) {
 		Events:            events,
 		Stages:            stageStats(r.tracer),
 	}
+	snap.Counters["driver.failovers"] = r.failovers.Load()
 	r.seq++
 	r.lastCommitted = committed
 	select {
@@ -432,6 +510,29 @@ func (r *Handle) finish() {
 		Stages:       stageStats(r.tracer),
 		Traces:       exportTraces(r.tracer),
 	}
+	rep.Counters["driver.failovers"] = r.failovers.Load()
+
+	if r.inv != nil {
+		inner := c.inner
+		r.inv.ObserveHeights(inner)
+		// Prefix agreement stops short of the confirmation depth, plus a
+		// reorg margin on forking chains: PoW nodes legitimately disagree
+		// near the tip while a reorg is in flight.
+		depth := inner.ConfirmationDepth()
+		if inner.SupportsForks() {
+			depth += 4
+		}
+		r.inv.CheckAgreement(inner, depth)
+		r.inv.CheckXShard(rep.Counters)
+		if wi, ok := r.workload.(WorkloadInvariants); ok {
+			for _, v := range wi.CheckInvariants(c) {
+				r.inv.Add(v)
+			}
+		}
+		rep.Invariants = r.inv.Violations()
+		rep.ChaosSeed = r.chaosSeed
+	}
+
 	rep.LatencyCDFValues, rep.LatencyCDFFractions = r.latency.CDF(40)
 	r.reportOut = rep
 }
@@ -490,11 +591,14 @@ func counterDelta(after, before map[string]uint64) map[string]uint64 {
 // submitWithRetry is the submission core shared by the open-loop sender
 // workers and the blocking threads: it pushes one operation through
 // Client.Send, backing off exponentially while the server reports busy,
-// and gives up when stop closes.
-func submitWithRetry(cl *Client, op Op, stop <-chan struct{},
-	submitErrors *atomic.Uint64) (Hash, bool) {
-
+// and gives up when stop closes. After two consecutive failures it
+// fails the client over to the next server not currently
+// process-killed — a crashed server rejects every RPC instantly, so
+// without failover its submit threads would spin until the node
+// recovers. Rotations are counted as driver.failovers.
+func (r *Handle) submitWithRetry(cl *Client, op Op) (Hash, bool) {
 	backoff := time.Millisecond
+	errs := 0
 	for {
 		id, err := cl.Send(op)
 		if err == nil {
@@ -502,16 +606,40 @@ func submitWithRetry(cl *Client, op Op, stop <-chan struct{},
 		}
 		// Server busy (Parity's admission cap) or down: the operation
 		// stays with this sender until accepted or the run ends.
-		submitErrors.Add(1)
+		r.submitErrors.Add(1)
+		if errs++; errs >= 2 && r.failoverClient(cl) {
+			errs = 0
+		}
+		// The jitter keeps a client's failed-over sender threads from
+		// re-converging on the next server in lockstep.
 		select {
-		case <-stop:
+		case <-r.stop:
 			return Hash{}, false
-		case <-time.After(backoff):
+		case <-time.After(backoff + time.Duration(rand.Int63n(int64(backoff)))):
 		}
 		if backoff < 8*time.Millisecond {
 			backoff *= 2
 		}
 	}
+}
+
+// failoverClient rotates the client to the next server that is not
+// process-killed, reporting whether it moved. Muted or partitioned
+// servers look up but keep erroring, so the rotation simply fires again
+// two failures later and walks past them.
+func (r *Handle) failoverClient(cl *Client) bool {
+	size := r.cluster.Size()
+	cur := cl.Server()
+	for k := 1; k < size; k++ {
+		next := (cur + k) % size
+		if r.cluster.Down(next) {
+			continue
+		}
+		cl.Failover(next)
+		r.failovers.Add(1)
+		return true
+	}
+	return false
 }
 
 // runOpenLoop starts the pipelines: one generator per client producing
@@ -586,7 +714,7 @@ func (r *Handle) runOpenLoop(wg *sync.WaitGroup) {
 						return
 					case op := <-cs.submitCh:
 						cs.inflight.Add(1)
-						if id, ok := submitWithRetry(cs.client, op, stop, &r.submitErrors); ok {
+						if id, ok := r.submitWithRetry(cs.client, op); ok {
 							r.submitted.Add(1)
 							cs.mu.Lock()
 							cs.outstanding[id] = time.Now()
@@ -649,7 +777,7 @@ func (r *Handle) runBlocking(wg *sync.WaitGroup) {
 					}
 					op := w.Next(i, gen)
 					t0 := time.Now()
-					id, ok := submitWithRetry(cs.client, op, stop, &r.submitErrors)
+					id, ok := r.submitWithRetry(cs.client, op)
 					if !ok {
 						return
 					}

@@ -28,14 +28,42 @@ type EventTrigger = schedule.Trigger
 // actual offset into the run at which it executed.
 type EventRecord = report.EventRecord
 
-// CrashNode schedules a crash of node i at offset at into the run.
+// CrashNode schedules a process kill of node i at offset at into the
+// run: consensus state, pool and uncommitted ledger tail are lost; only
+// the persisted store survives.
 func CrashNode(at time.Duration, node int) Event {
 	return Event{At: at, Act: schedule.Crash(node)}
 }
 
-// RecoverNode schedules the recovery of a crashed node.
+// RecoverNode schedules the restart of a killed node from its persisted
+// store.
 func RecoverNode(at time.Duration, node int) Event {
 	return Event{At: at, Act: schedule.Recover(node)}
+}
+
+// MuteNode schedules a network-only fail-stop of node i (the paper's
+// original crash failure mode — the process keeps its state).
+func MuteNode(at time.Duration, node int) Event {
+	return Event{At: at, Act: schedule.Mute(node)}
+}
+
+// UnmuteNode schedules the reconnection of a muted node.
+func UnmuteNode(at time.Duration, node int) Event {
+	return Event{At: at, Act: schedule.Unmute(node)}
+}
+
+// PartitionGroups schedules an arbitrary (possibly asymmetric)
+// multi-way partition; nodes not listed in any group form an implicit
+// group of their own.
+func PartitionGroups(at time.Duration, groups [][]int) Event {
+	return Event{At: at, Act: schedule.PartitionGroups(groups)}
+}
+
+// LinkChaos schedules probabilistic drop/duplicate/reorder faults on
+// messages sent by the given nodes (all nodes when none are named);
+// zero probabilities clear the profile.
+func LinkChaos(at time.Duration, drop, dup, reorder float64, nodes ...int) Event {
+	return Event{At: at, Act: schedule.LinkFaults(drop, dup, reorder, nodes...)}
 }
 
 // Partition schedules a network split into [0,k) and [k,N) — the

@@ -21,6 +21,17 @@ const (
 	MsgSyncResp = "sync_resp" // *SyncResp: canonical blocks in order
 )
 
+// MetaStore is durable small-blob storage for an engine's hard state
+// (Raft term/vote/applied-index). The platform layer backs it with the
+// node's persisted store so the state survives a process kill; engines
+// must tolerate a nil MetaStore (nothing persists, as before).
+type MetaStore interface {
+	// SaveMeta durably records value under key, overwriting.
+	SaveMeta(key string, value []byte)
+	// LoadMeta returns the last saved value for key, ok=false if absent.
+	LoadMeta(key string) (value []byte, ok bool)
+}
+
 // Context carries the node-side dependencies an engine needs.
 type Context struct {
 	Self     simnet.NodeID
@@ -32,6 +43,8 @@ type Context struct {
 	// Tracer is the cluster's lifecycle tracer (nil-safe); engines stamp
 	// StagePropose when a proposal first includes a transaction.
 	Tracer *trace.Tracer
+	// Meta is durable hard-state storage for crash recovery (may be nil).
+	Meta MetaStore
 }
 
 // Engine is a consensus protocol instance driving one node.

@@ -369,6 +369,20 @@ func (e *Engine) Handle(msg simnet.Message) bool {
 func (e *Engine) onPrePrepare(from simnet.NodeID, pp *PrePrepare) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if pp.View > e.view && e.primaryOf(pp.View) == from {
+		// A restarted replica wakes up in a stale view while the cluster
+		// has moved on; the primary of the newer view is speaking, so
+		// adopt its view (honest-node simplification — a Byzantine-safe
+		// replica would demand the new-view certificate first).
+		e.view = pp.View
+		e.active = true
+		if e.votedView < pp.View {
+			e.votedView = pp.View
+		}
+		e.instances = make(map[uint64]*instance)
+		e.assigned = make(map[types.Hash]bool)
+		e.noteProgressLocked()
+	}
 	if pp.View != e.view || !e.active || e.primaryOf(pp.View) != from {
 		return
 	}

@@ -217,6 +217,13 @@ const (
 
 const noVote = simnet.NodeID(-1)
 
+// metaKey is the MetaStore slot holding this replica's durable hard
+// state: term, vote, and the applied-index/chain-height baseline a
+// restarted replica resumes from (its log tail is gone, so it comes
+// back as if freshly snapshotted at the applied index and re-fetches
+// anything newer from the leader — log or InstallSnapshot).
+const metaKey = "raft:hard"
+
 // Engine is one Raft replica driving one node.
 type Engine struct {
 	ctx   consensus.Context
@@ -329,8 +336,68 @@ func New(ctx consensus.Context, opts Options) *Engine {
 	if ctx.Pool != nil && !opts.TickOnly {
 		e.notify = ctx.Pool.Notify()
 	}
+	e.restoreMeta()
 	e.resetDeadlineLocked(time.Now())
 	return e
+}
+
+// restoreMeta reloads durable hard state after a process kill. The
+// uncommitted log tail did not survive, so the replica resumes as if
+// snapshotted exactly at its applied index: commit == applied ==
+// snapIndex, with the chain-height baseline recorded at save time.
+// Entries past that point are re-fetched from the current leader —
+// through ordinary AppendEntries if they are still resident, or
+// through InstallSnapshot plus a chain sync if the leader has
+// compacted past us.
+func (e *Engine) restoreMeta() {
+	if e.ctx.Meta == nil {
+		return
+	}
+	buf, ok := e.ctx.Meta.LoadMeta(metaKey)
+	if !ok {
+		return
+	}
+	d := types.NewDecoder(buf)
+	term := d.Uint64()
+	voted := simnet.NodeID(int64(d.Uint64()))
+	base := d.Bool()
+	applied := d.Uint64()
+	appliedTerm := d.Uint64()
+	height := d.Uint64()
+	if d.Err() != nil {
+		return // torn meta record: start clean
+	}
+	e.term = term
+	e.votedFor = voted
+	if base {
+		e.snapIndex = applied
+		e.snapTerm = appliedTerm
+		e.commit = applied
+		e.applied = applied
+		e.appliedHeight = height
+		e.snapHeight = height
+		e.baseSet = true
+		if b, ok := e.ctx.Chain.GetBlock(height); ok {
+			e.snapRoot = b.Hash()
+		}
+	}
+}
+
+// saveMetaLocked durably records the hard state. Called whenever term,
+// vote or the applied baseline changes; a nil MetaStore disables
+// persistence (the pre-crash-recovery behavior).
+func (e *Engine) saveMetaLocked() {
+	if e.ctx.Meta == nil {
+		return
+	}
+	enc := types.NewEncoder()
+	enc.Uint64(e.term)
+	enc.Uint64(uint64(int64(e.votedFor)))
+	enc.Bool(e.baseSet)
+	enc.Uint64(e.applied)
+	enc.Uint64(e.termAtLocked(e.applied))
+	enc.Uint64(e.appliedHeight)
+	e.ctx.Meta.SaveMeta(metaKey, enc.Out())
 }
 
 func (e *Engine) majority() int { return len(e.peers)/2 + 1 }
@@ -581,6 +648,7 @@ func (e *Engine) startElectionLocked(now time.Time) {
 	e.votedFor = e.ctx.Self
 	e.votes = map[simnet.NodeID]bool{e.ctx.Self: true}
 	e.elections.Add(1)
+	e.saveMetaLocked() // term++/self-vote must be durable before soliciting
 	e.resetDeadlineLocked(now)
 	last := e.lastIndexLocked()
 	rv := &RequestVote{Term: e.term, LastLogIndex: last, LastLogTerm: e.termAtLocked(last)}
@@ -605,6 +673,7 @@ func (e *Engine) stepDownLocked(term uint64, now time.Time) {
 	if term > e.term {
 		e.term = term
 		e.votedFor = noVote
+		e.saveMetaLocked() // adopted term must survive a crash
 	}
 	e.role = follower
 	e.votes = nil
@@ -824,6 +893,15 @@ func (e *Engine) applyLocked() {
 		e.snapHeight = e.appliedHeight
 		e.baseSet = true
 	}
+	before := e.applied
+	defer func() {
+		if e.applied != before {
+			// The meta write lands after the blocks it accounts for, so a
+			// crash between the two leaves meta.Height at most the chain
+			// height — restore absorbs the gap via the skip-account path.
+			e.saveMetaLocked()
+		}
+	}()
 	for e.applied < e.commit {
 		if e.ctx.Chain.Height() < e.appliedHeight {
 			return // chain sync toward the snapshot still in flight
@@ -984,6 +1062,7 @@ func (e *Engine) onRequestVote(from simnet.NodeID, rv *RequestVote) {
 		e.upToDateLocked(rv.LastLogIndex, rv.LastLogTerm)
 	if granted {
 		e.votedFor = from
+		e.saveMetaLocked() // the vote is a durable promise
 		e.resetDeadlineLocked(now)
 	}
 	e.ctx.Endpoint.Send(from, MsgVote, &Vote{Term: e.term, Granted: granted})
@@ -1107,7 +1186,14 @@ func (e *Engine) onAppendResp(from simnet.NodeID, r *AppendResp) {
 		return
 	}
 	// Rejected: back up toward the follower's hint and resend
-	// immediately (fast backoff).
+	// immediately (fast backoff). A hint below the acknowledged match
+	// means the follower lost a previously-stored log suffix in a crash
+	// (entries are acknowledged before they are fsynced, so a kill can
+	// take back an ack): matchIndex is only monotone for followers with
+	// stable storage. Accept the regression — refusing it would floor
+	// nextIndex above the follower's log end and wedge replication (and
+	// with it the commit index) forever. Lowering match is always safe:
+	// it can only delay commit advancement, never un-commit.
 	ni := e.next[from]
 	if ni == 0 {
 		ni = 1
@@ -1118,7 +1204,7 @@ func (e *Engine) onAppendResp(from simnet.NodeID, r *AppendResp) {
 		ni--
 	}
 	if ni <= e.match[from] {
-		ni = e.match[from] + 1
+		e.match[from] = ni - 1
 	}
 	e.next[from] = ni
 	if !e.opts.TickOnly {
@@ -1165,6 +1251,7 @@ func (e *Engine) onSnapshot(from simnet.NodeID, s *InstallSnapshot) {
 	e.baseSet = true
 	e.assigned = make(map[types.Hash]bool)
 	e.snapsTaken.Add(1)
+	e.saveMetaLocked()
 	e.syncReqAt = now
 	consensus.RequestSync(e.ctx, from)
 	e.ctx.Endpoint.Send(from, MsgAppendResp, &AppendResp{

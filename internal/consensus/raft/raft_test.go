@@ -562,3 +562,33 @@ func TestSubTickBatchTimeout(t *testing.T) {
 		}
 	}
 }
+
+// TestRejectionHintLowersStaleMatch pins the crash-recovery backoff
+// rule: a follower that loses its unsynced log tail in a kill comes back
+// with a log shorter than the match index it acknowledged in its
+// previous life. Its rejection hint must pull both nextIndex AND the
+// stale match down — flooring the backoff at the old match would resend
+// the same unappendable PrevIndex forever and wedge the group's commit
+// index (matchIndex is only monotone for followers with stable storage).
+func TestRejectionHintLowersStaleMatch(t *testing.T) {
+	c := newTestCluster(t, 2, fastOptions())
+	l := c.waitLeader(t, nil)
+	e := c.nodes[l].e
+	peer := simnet.NodeID(1 - l)
+	e.mu.Lock()
+	e.log = make([]Entry, 10)
+	for i := range e.log {
+		e.log[i] = Entry{Term: e.term}
+	}
+	e.match[peer] = 9
+	e.next[peer] = 10
+	term := e.term
+	e.mu.Unlock()
+	// The follower rejects with a hint at its new, shorter log end.
+	e.onAppendResp(peer, &AppendResp{Term: term, OK: false, Match: 3})
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.match[peer] > 3 {
+		t.Fatalf("stale match survived the rejection hint: match=%d, hint was 3", e.match[peer])
+	}
+}

@@ -46,6 +46,15 @@ type Store interface {
 	Close() error
 }
 
+// CrashCloser is implemented by stores that can simulate a process kill:
+// release the store without flushing buffered writes, leaving whatever
+// was durable (possibly a torn tail) for the next open to recover. The
+// platform's crash injector uses it instead of Close so recovery
+// genuinely exercises the replay path.
+type CrashCloser interface {
+	CrashClose() error
+}
+
 // Mem is an in-memory store. It is safe for concurrent use.
 type Mem struct {
 	mu     sync.RWMutex

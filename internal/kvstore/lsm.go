@@ -681,6 +681,29 @@ func (s *LSM) Counters() map[string]uint64 {
 	}
 }
 
+// CrashClose simulates a process kill: the store is released WITHOUT
+// flushing or fsyncing the buffered WAL tail, so whatever the last
+// buffered writes were is abandoned — possibly mid-record, leaving a
+// genuinely torn tail for replayWAL's truncation to recover on reopen.
+// Only durably synced (and incidentally OS-buffered) data survives.
+func (s *LSM) CrashClose() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	// Abandon walBuf (never flushed) and close the file without Sync.
+	if err := s.wal.Close(); err != nil {
+		return err
+	}
+	for _, r := range s.runs {
+		r.release()
+	}
+	s.runs = nil
+	s.closed = true
+	return nil
+}
+
 // Close flushes the WAL and releases all files.
 func (s *LSM) Close() error {
 	s.mu.Lock()

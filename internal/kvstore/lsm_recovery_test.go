@@ -199,3 +199,74 @@ func TestLSMBloomSkipsNonResident(t *testing.T) {
 			100*ratio, nonResident)
 	}
 }
+
+// TestLSMCrashCloseTornTail is the process-kill simulation: CrashClose
+// abandons the buffered WAL tail and skips the final fsync, exactly like
+// a SIGKILL between appends. A large unsynced record is left genuinely
+// torn on disk (bufio flushes mid-record once the value outgrows the
+// buffer), and reopening must recover the synced prefix, drop the torn
+// record, and leave the store appendable.
+func TestLSMCrashCloseTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenLSM(dir, LSMOptions{}) // default 256 KiB group fsync
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crosses the group-sync threshold, so this record is on disk and
+	// fsynced before the crash.
+	durable := make([]byte, 300<<10)
+	for i := range durable {
+		durable[i] = byte(i)
+	}
+	if err := s.Put([]byte("durable"), durable); err != nil {
+		t.Fatal(err)
+	}
+	// Below the sync threshold but above the 64 KiB WAL buffer: bufio
+	// flushes the record's head to disk and keeps its tail in memory,
+	// which CrashClose then abandons — a true torn record.
+	if err := s.Put([]byte("torn"), make([]byte, 100<<10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CrashClose(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CrashClose(); err != nil {
+		t.Fatalf("CrashClose not idempotent: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close after CrashClose: %v", err)
+	}
+
+	s2, err := OpenLSM(dir, LSMOptions{})
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	v, ok, err := s2.Get([]byte("durable"))
+	if err != nil || !ok || len(v) != len(durable) {
+		t.Fatalf("synced record lost: ok=%v err=%v len=%d", ok, err, len(v))
+	}
+	for i := range v {
+		if v[i] != byte(i) {
+			t.Fatalf("synced record corrupted at byte %d", i)
+		}
+	}
+	if _, ok, _ := s2.Get([]byte("torn")); ok {
+		t.Fatal("torn record survived the crash")
+	}
+
+	// The truncated WAL must accept appends and survive a clean cycle.
+	if err := s2.Put([]byte("after"), []byte("recovery")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := OpenLSM(dir, LSMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if v, ok, _ := s3.Get([]byte("after")); !ok || string(v) != "recovery" {
+		t.Fatalf("post-recovery append lost: %q %v", v, ok)
+	}
+}

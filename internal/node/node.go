@@ -69,6 +69,10 @@ type Config struct {
 	// Tracer is the cluster's lifecycle tracer (nil-safe), handed to the
 	// consensus engine through its Context.
 	Tracer *trace.Tracer
+
+	// Meta is durable hard-state storage for the consensus engine's crash
+	// recovery, handed through the Context (may be nil).
+	Meta consensus.MetaStore
 }
 
 // Router intercepts the client-facing transaction path. A consensus
@@ -142,6 +146,7 @@ func New(cfg Config) *Node {
 		Address:  cfg.Key.Address(),
 		Peers:    cfg.Peers,
 		Tracer:   cfg.Tracer,
+		Meta:     cfg.Meta,
 	}
 	n.cons = cfg.NewConsensus(ctx)
 	if r, ok := n.cons.(Router); ok {

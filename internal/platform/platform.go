@@ -21,6 +21,8 @@ package platform
 import (
 	"fmt"
 	"os"
+	"path/filepath"
+	"sync"
 	"time"
 
 	"blockbench/internal/analytics"
@@ -160,22 +162,42 @@ func (c *Config) fill() error {
 	return nil
 }
 
-// Cluster is a running N-node deployment of one platform.
+// Cluster is a running N-node deployment of one platform. Crash and
+// Recover rebuild nodes in place, so every slice is indexed by node
+// and guarded by mu; accessors hand out the current incarnation.
 type Cluster struct {
-	Kind     Kind
-	Net      *simnet.Network
-	preset   *Preset
+	Kind   Kind
+	Net    *simnet.Network
+	preset *Preset
+
+	mu       sync.RWMutex
 	nodes    []*node.Node
 	chains   []*ledger.Chain
 	stores   []kvstore.Store
 	engines  []exec.Engine
 	nodeKeys []*crypto.Key
-	// providers holds additional per-node counter sources beyond the
-	// consensus and execution engines (the intra-block executors).
-	providers []metrics.CounterProvider
+	// providers holds each node's additional counter sources beyond the
+	// consensus and execution engines (intra-block executors, state
+	// layers, stores, indexers), dropped and re-collected on rebuild.
+	providers [][]metrics.CounterProvider
 	// indexers holds each node's analytics indexer (nil entries when
 	// the index is disabled).
 	indexers []*analytics.Indexer
+	// down marks process-killed nodes; restarts counts recoveries, so
+	// the invariant checker can distinguish a restart-induced height
+	// regression from a real safety violation.
+	down     []bool
+	restarts []uint64
+	// retired accumulates the counters of dead node incarnations so
+	// Counters() stays monotone across kills (gauge keys excluded).
+	retired map[string]uint64
+
+	// env/alloc/peers are retained so Recover can rebuild a node with
+	// the identical identity material the initial build used.
+	env   *Env
+	alloc map[types.Address]uint64
+	peers []simnet.NodeID
+
 	// tracer is the cluster-wide lifecycle tracer every component stamps
 	// into; disabled until the driver arms it for a run.
 	tracer *trace.Tracer
@@ -230,33 +252,64 @@ func New(cfg Config) (*Cluster, error) {
 	env.Keys = append(env.Keys, cfg.ClientKeys...)
 	env.Keys = append(env.Keys, c.nodeKeys...)
 
+	c.env = env
+	c.alloc = alloc
+	c.peers = peers
+	c.nodes = make([]*node.Node, cfg.Nodes)
+	c.chains = make([]*ledger.Chain, cfg.Nodes)
+	c.stores = make([]kvstore.Store, cfg.Nodes)
+	c.engines = make([]exec.Engine, cfg.Nodes)
+	c.providers = make([][]metrics.CounterProvider, cfg.Nodes)
+	c.indexers = make([]*analytics.Indexer, cfg.Nodes)
+	c.down = make([]bool, cfg.Nodes)
+	c.restarts = make([]uint64, cfg.Nodes)
+	c.retired = make(map[string]uint64)
+
 	for i := 0; i < cfg.Nodes; i++ {
-		n, err := c.buildNode(i, peers, env, alloc)
-		if err != nil {
+		if err := c.buildNode(i, nil); err != nil {
 			c.Close()
 			return nil, err
 		}
-		c.nodes = append(c.nodes, n)
 	}
 	return c, nil
 }
 
-// buildNode assembles node i from the preset's hooks.
-func (c *Cluster) buildNode(i int, peers []simnet.NodeID, env *Env,
-	alloc map[types.Address]uint64) (*node.Node, error) {
+// blockKey is the store key journaling the committed block at height n
+// (zero-padded so store iteration yields ascending heights).
+func blockKey(n uint64) []byte { return []byte(fmt.Sprintf("blk:%016d", n)) }
 
+// storeMeta adapts a node's kvstore into the consensus.MetaStore the
+// engines persist their hard state through (Raft term/vote/applied).
+type storeMeta struct{ s kvstore.Store }
+
+func (m storeMeta) SaveMeta(key string, value []byte) {
+	m.s.Put([]byte("meta:"+key), value)
+}
+
+func (m storeMeta) LoadMeta(key string) ([]byte, bool) {
+	v, ok, err := m.s.Get([]byte("meta:" + key))
+	if err != nil || !ok {
+		return nil, false
+	}
+	return v, true
+}
+
+// buildNode assembles node i from the preset's hooks, writing slot i of
+// every per-node slice. A nil store opens a fresh one through the
+// preset; Recover passes the reopened (or surviving) store so a
+// DurableRecovery preset replays its journaled chain from disk.
+func (c *Cluster) buildNode(i int, store kvstore.Store) error {
 	cfg := &c.cfg
 	p := c.preset
 
-	openStore := p.OpenStore
-	if openStore == nil {
-		openStore = defaultOpenStore
+	if store == nil {
+		s, err := c.openStoreFor(i)
+		if err != nil {
+			return err
+		}
+		store = s
 	}
-	store, err := openStore(cfg, i)
-	if err != nil {
-		return nil, err
-	}
-	c.stores = append(c.stores, store)
+	c.stores[i] = store
 
 	mem := exec.MemModel{}
 	if p.MemModel != nil {
@@ -267,25 +320,26 @@ func (c *Cluster) buildNode(i int, peers []simnet.NodeID, env *Env,
 	}
 	eng, err := p.NewEngine(cfg, mem)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	c.engines = append(c.engines, eng)
+	c.engines[i] = eng
 
+	var provs []metrics.CounterProvider
 	factory, stateProviders, err := p.NewStateFactory(cfg, store)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	c.providers = append(c.providers, stateProviders...)
+	provs = append(provs, stateProviders...)
 	// Stores that count their own traffic (the LSM engine's gets, bloom
 	// skips, flushes, compactions) flow into Report.Counters too.
 	if cp, ok := store.(metrics.CounterProvider); ok {
-		c.providers = append(c.providers, cp)
+		provs = append(provs, cp)
 	}
 
 	// Per-node registry: verification results are cached per transaction,
 	// so sharing one registry would let N-1 nodes skip the signature
 	// check the simulation charges each node for.
-	reg := env.newRegistry()
+	reg := c.env.newRegistry()
 
 	pool := txpool.New(1 << 20)
 	pool.SetTracer(c.tracer)
@@ -296,7 +350,7 @@ func (c *Cluster) buildNode(i int, peers []simnet.NodeID, env *Env,
 	var blockExec ledger.BlockExecutor
 	if pex := newBlockExecutor(cfg); pex != nil {
 		blockExec = pex
-		c.providers = append(c.providers, pex)
+		provs = append(provs, pex)
 	}
 	// Analytics indexer: maintained on the commit path unless disabled.
 	// It persists through the node's own store, so -popt store=lsm
@@ -304,9 +358,10 @@ func (c *Cluster) buildNode(i int, peers []simnet.NodeID, env *Env,
 	var idx *analytics.Indexer
 	if cfg.AnalyticsIndex != "off" {
 		idx = analytics.NewIndexer(store, analytics.Options{})
-		c.providers = append(c.providers, idx)
+		provs = append(provs, idx)
 	}
-	c.indexers = append(c.indexers, idx)
+	c.indexers[i] = idx
+	c.providers[i] = provs
 
 	lcfg := ledger.Config{
 		Engine:        eng,
@@ -315,7 +370,7 @@ func (c *Cluster) buildNode(i int, peers []simnet.NodeID, env *Env,
 		Registry:      reg,
 		GasLimit:      ledgerGas,
 		SupportsForks: p.SupportsForks,
-		GenesisAlloc:  alloc,
+		GenesisAlloc:  c.alloc,
 		OnInclude:     pool.MarkIncluded,
 		OnReorg:       pool.Reinject,
 		Tracer:        c.tracer,
@@ -323,11 +378,46 @@ func (c *Cluster) buildNode(i int, peers []simnet.NodeID, env *Env,
 	if idx != nil {
 		lcfg.OnCommit = idx.OnCommit
 	}
+	if p.DurableRecovery {
+		// Journal committed blocks so a killed node can rebuild its
+		// chain from disk alone. Composed before the indexer hook; runs
+		// under the chain lock, so it only touches the store.
+		inner := lcfg.OnCommit
+		lcfg.OnCommit = func(blocks []*types.Block, receipts [][]*types.Receipt) {
+			for _, b := range blocks {
+				store.Put(blockKey(b.Number()), types.EncodeBlock(b))
+			}
+			if inner != nil {
+				inner(blocks, receipts)
+			}
+		}
+	}
 	chain, err := ledger.New(lcfg)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	c.chains = append(c.chains, chain)
+	c.chains[i] = chain
+
+	if p.DurableRecovery {
+		// Replay the journaled chain (no-op on a fresh store). Execution
+		// is deterministic and the trie is content-addressed, so replay
+		// converges on the exact pre-crash state; a record that fails to
+		// decode marks the torn tail and ends the replay.
+		var blocks []*types.Block
+		store.Iterate([]byte("blk:"), []byte("blk;"), func(k, v []byte) bool {
+			b, err := types.DecodeBlock(v)
+			if err != nil {
+				return false
+			}
+			blocks = append(blocks, b)
+			return true
+		})
+		for _, b := range blocks {
+			if err := chain.Append(b); err != nil {
+				break
+			}
+		}
+	}
 
 	depth := uint64(0)
 	if p.ConfirmationDepth != nil {
@@ -344,23 +434,38 @@ func (c *Cluster) buildNode(i int, peers []simnet.NodeID, env *Env,
 		Chain:             chain,
 		Pool:              pool,
 		Exec:              eng,
-		NewConsensus:      p.NewConsensus(cfg, env),
-		Peers:             peers,
+		NewConsensus:      p.NewConsensus(cfg, c.env),
+		Peers:             c.peers,
 		RPCLatency:        cfg.RPCLatency,
 		ConfirmationDepth: depth,
 		Analytics:         idx,
 		Tracer:            c.tracer,
 	}
+	if p.DurableRecovery {
+		ncfg.Meta = storeMeta{store}
+	}
 	if p.ServerSigns {
 		ncfg.ServerSigns = true
 		ncfg.IngestCost = cfg.IngestCost
-		ncfg.Keyring = env.Keyring
+		ncfg.Keyring = c.env.Keyring
 	}
 	if p.VerifyIngress {
 		ncfg.VerifyIngress = true
 		ncfg.Registry = reg
 	}
-	return node.New(ncfg), nil
+	c.nodes[i] = node.New(ncfg)
+	return nil
+}
+
+// openStoreFor opens node i's storage engine through the preset hook.
+// The path is deterministic in i, so reopening after a crash recovers
+// whatever the previous incarnation persisted.
+func (c *Cluster) openStoreFor(i int) (kvstore.Store, error) {
+	open := c.preset.OpenStore
+	if open == nil {
+		open = defaultOpenStore
+	}
+	return open(&c.cfg, i)
 }
 
 // ServerSigns reports whether this platform signs transactions inside
@@ -369,6 +474,8 @@ func (c *Cluster) ServerSigns() bool { return c.preset.ServerSigns }
 
 // Start launches every node.
 func (c *Cluster) Start() {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	for _, n := range c.nodes {
 		n.Start()
 	}
@@ -376,8 +483,12 @@ func (c *Cluster) Start() {
 
 // Stop halts nodes and the network.
 func (c *Cluster) Stop() {
-	for _, n := range c.nodes {
-		n.Stop()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for i, n := range c.nodes {
+		if !c.down[i] {
+			n.Stop()
+		}
 	}
 	c.Net.Close()
 }
@@ -385,8 +496,12 @@ func (c *Cluster) Stop() {
 // Close releases storage (after Stop) and removes any ephemeral data
 // directory provisioned for a -popt store=lsm run.
 func (c *Cluster) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for _, s := range c.stores {
-		s.Close()
+		if s != nil {
+			s.Close()
+		}
 	}
 	if c.cfg.ephemeralData && c.cfg.DataDir != "" {
 		os.RemoveAll(c.cfg.DataDir)
@@ -396,27 +511,203 @@ func (c *Cluster) Close() {
 // Size returns the number of nodes.
 func (c *Cluster) Size() int { return len(c.nodes) }
 
-// Node returns the i-th node.
-func (c *Cluster) Node(i int) *node.Node { return c.nodes[i] }
+// Node returns the i-th node (its current incarnation).
+func (c *Cluster) Node(i int) *node.Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.nodes[i]
+}
 
 // Chain returns the i-th node's ledger.
-func (c *Cluster) Chain(i int) *ledger.Chain { return c.chains[i] }
+func (c *Cluster) Chain(i int) *ledger.Chain {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.chains[i]
+}
 
 // Engine returns the i-th node's execution engine.
-func (c *Cluster) Engine(i int) exec.Engine { return c.engines[i] }
+func (c *Cluster) Engine(i int) exec.Engine {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.engines[i]
+}
 
 // Store returns the i-th node's storage engine.
-func (c *Cluster) Store(i int) kvstore.Store { return c.stores[i] }
+func (c *Cluster) Store(i int) kvstore.Store {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.stores[i]
+}
 
 // Indexer returns node i's analytics indexer (nil when the index is
 // disabled via -popt index=off).
-func (c *Cluster) Indexer(i int) *analytics.Indexer { return c.indexers[i] }
+func (c *Cluster) Indexer(i int) *analytics.Indexer {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.indexers[i]
+}
 
-// Crash stops message delivery to and from node i (crash failure mode).
-func (c *Cluster) Crash(i int) { c.Net.Crash(simnet.NodeID(i)) }
+// Crash process-kills node i: its network presence, consensus engine,
+// transaction pool, uncommitted ledger tail and state caches are torn
+// down, and its store is crash-closed without flushing (a genuinely
+// torn WAL tail on the LSM engine). Only what the store already held
+// survives for Recover. Counters of the dead incarnation are folded
+// into the retired accumulator so cluster totals stay monotone.
+func (c *Cluster) Crash(i int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.down[i] {
+		return
+	}
+	c.down[i] = true
+	c.retireCountersLocked(i)
+	c.Net.Crash(simnet.NodeID(i))
+	c.nodes[i].Stop()
+	if cc, ok := c.stores[i].(kvstore.CrashCloser); ok {
+		cc.CrashClose()
+	}
+}
 
-// Recover heals a crashed node's connectivity.
-func (c *Cluster) Recover(i int) { c.Net.Recover(simnet.NodeID(i)) }
+// Recover restarts a killed node from its persisted store.
+// DurableRecovery presets reopen the store (WAL replay truncates any
+// torn tail), rebuild the chain from the journaled blocks and hand the
+// consensus engine its persisted hard state; other presets restart
+// from genesis and rejoin through the chain-sync protocol. On a node
+// that was merely Muted, Recover just restores connectivity.
+func (c *Cluster) Recover(i int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.down[i] {
+		c.Net.Recover(simnet.NodeID(i))
+		return
+	}
+	var store kvstore.Store
+	if c.preset.DurableRecovery {
+		if _, crashClosed := c.stores[i].(kvstore.CrashCloser); crashClosed {
+			s, err := c.openStoreFor(i)
+			if err != nil {
+				return // leave the node down; nothing sane to rebuild on
+			}
+			store = s
+		} else {
+			// The in-memory store was never torn down: it stands in for
+			// the surviving disk.
+			store = c.stores[i]
+		}
+	} else {
+		// Non-durable preset: the process's disk is not a chain journal,
+		// so the node restarts empty (fresh directory for LSM runs).
+		if c.cfg.DataDir != "" && c.cfg.StoreBackend != "mem" {
+			os.RemoveAll(filepath.Join(c.cfg.DataDir, fmt.Sprintf("node-%d", i)))
+		} else {
+			c.stores[i].Close()
+		}
+		s, err := c.openStoreFor(i)
+		if err != nil {
+			return
+		}
+		store = s
+	}
+	if err := c.buildNode(i, store); err != nil {
+		return
+	}
+	c.Net.Recover(simnet.NodeID(i))
+	c.nodes[i].Start()
+	c.down[i] = false
+	c.restarts[i]++
+}
+
+// Mute suppresses message delivery to and from node i without killing
+// the process — the paper's original fail-stop-on-the-network failure
+// mode. The node's in-memory state survives; Unmute (or Recover)
+// restores connectivity.
+func (c *Cluster) Mute(i int) { c.Net.Crash(simnet.NodeID(i)) }
+
+// Unmute restores a muted node's connectivity.
+func (c *Cluster) Unmute(i int) { c.Net.Recover(simnet.NodeID(i)) }
+
+// Down reports whether node i is currently process-killed.
+func (c *Cluster) Down(i int) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.down[i]
+}
+
+// Restarts counts how many times node i has been rebuilt by Recover.
+// The invariant checker uses it to tell a restart-induced height reset
+// from a real monotonicity violation.
+func (c *Cluster) Restarts(i int) uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.restarts[i]
+}
+
+// BlockHash returns the hash of node i's canonical block at the given
+// height (ok=false when the node has no block there). The invariant
+// checker compares these across nodes for committed-prefix agreement.
+func (c *Cluster) BlockHash(i int, height uint64) (types.Hash, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	b, ok := c.chains[i].GetBlock(height)
+	if !ok {
+		return types.Hash{}, false
+	}
+	return b.Hash(), true
+}
+
+// ConfirmationDepth returns the effective confirmation depth nodes were
+// built with.
+func (c *Cluster) ConfirmationDepth() uint64 {
+	depth := uint64(0)
+	if c.preset.ConfirmationDepth != nil {
+		depth = c.preset.ConfirmationDepth(&c.cfg)
+	}
+	if c.cfg.ConfirmationDepth != nil {
+		depth = *c.cfg.ConfirmationDepth
+	}
+	return depth
+}
+
+// SupportsForks reports whether the platform's ledger admits competing
+// branches (PoW/PoA) — agreement checks then apply only to blocks
+// buried beyond a reorg margin.
+func (c *Cluster) SupportsForks() bool { return c.preset.SupportsForks }
+
+// ShardOf returns the shard group node i's canonical chain belongs to
+// (0 on single-chain platforms) — agreement is only expected within a
+// group.
+func (c *Cluster) ShardOf(i int) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if p, ok := c.nodes[i].Consensus().(chainPartitioned); ok {
+		return p.Shard()
+	}
+	return 0
+}
+
+// retireCountersLocked folds the dying incarnation's counters into the
+// retired accumulator. Gauge keys (".workers") restate configuration
+// rather than progress, so they are dropped instead of summed — the
+// next incarnation reports them afresh.
+func (c *Cluster) retireCountersLocked(i int) {
+	add := func(v any) {
+		p, ok := v.(metrics.CounterProvider)
+		if !ok {
+			return
+		}
+		for k, n := range p.Counters() {
+			if metrics.GaugeKey(k) {
+				continue
+			}
+			c.retired[k] += n
+		}
+	}
+	add(c.nodes[i].Consensus())
+	add(c.engines[i])
+	for _, p := range c.providers[i] {
+		add(p)
+	}
+}
 
 // PartitionHalves splits the cluster into [0, k) and [k, N) — the
 // double-spending attack simulation from §3.3.
@@ -428,8 +719,32 @@ func (c *Cluster) PartitionHalves(k int) {
 	c.Net.Partition(a)
 }
 
-// Heal removes a partition.
+// PartitionGroups splits the cluster into arbitrary (possibly
+// asymmetric) groups; nodes not listed anywhere share an implicit
+// group with each other. Messages flow only within a group.
+func (c *Cluster) PartitionGroups(groups [][]int) {
+	g := make([][]simnet.NodeID, len(groups))
+	for i, grp := range groups {
+		for _, n := range grp {
+			g[i] = append(g[i], simnet.NodeID(n))
+		}
+	}
+	c.Net.PartitionGroups(g)
+}
+
+// Heal removes partitions and blocked links.
 func (c *Cluster) Heal() { c.Net.Heal() }
+
+// SetLinkFaults installs a probabilistic link-fault profile on messages
+// sent by the given nodes (all nodes when none are named): drop, dup
+// and reorder are per-message probabilities. A zero profile clears.
+func (c *Cluster) SetLinkFaults(drop, dup, reorder float64, nodes ...int) {
+	ids := make([]simnet.NodeID, len(nodes))
+	for i, n := range nodes {
+		ids[i] = simnet.NodeID(n)
+	}
+	c.Net.SetLinkFaults(simnet.LinkFaults{Drop: drop, Dup: dup, Reorder: reorder}, ids...)
+}
 
 // SetDelay injects extra message delay at the given nodes.
 func (c *Cluster) SetDelay(d time.Duration, nodes ...int) {
@@ -442,7 +757,11 @@ func (c *Cluster) SetDelay(d time.Duration, nodes ...int) {
 
 // NodeHeight returns node i's confirmed chain height (the schedule
 // package's growth triggers key fault timelines off it).
-func (c *Cluster) NodeHeight(i int) uint64 { return c.chains[i].Height() }
+func (c *Cluster) NodeHeight(i int) uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.chains[i].Height()
+}
 
 // Counters aggregates every engine counter the cluster's nodes expose:
 // each node's consensus engine and execution engine is asked for its
@@ -451,6 +770,8 @@ func (c *Cluster) NodeHeight(i int) uint64 { return c.chains[i].Height() }
 // no per-backend case here, so any platform registered through the
 // preset registry flows into Report.Counters automatically.
 func (c *Cluster) Counters() map[string]uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make(map[string]uint64)
 	add := func(v any) {
 		if p, ok := v.(metrics.CounterProvider); ok {
@@ -460,11 +781,17 @@ func (c *Cluster) Counters() map[string]uint64 {
 		}
 	}
 	for i, n := range c.nodes {
+		if c.down[i] {
+			continue // captured in retired at kill time
+		}
 		add(n.Consensus())
 		add(c.engines[i])
+		for _, p := range c.providers[i] {
+			add(p)
+		}
 	}
-	for _, p := range c.providers {
-		add(p)
+	for k, n := range c.retired {
+		out[k] += n
 	}
 	return out
 }
@@ -481,6 +808,8 @@ type chainPartitioned interface{ Shard() int }
 // its own canonical chain, so the lengths sum — disjoint shard chains
 // are not forks of each other.
 func (c *Cluster) ForkStats() (total, mainChain uint64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	seen := make(map[types.Hash]struct{})
 	longest := make(map[int]uint64)
 	for i, ch := range c.chains {
@@ -508,6 +837,8 @@ func (c *Cluster) ForkStats() (total, mainChain uint64) {
 // every chain executes and commits the batch exactly once on Append
 // (platforms without state versioning share one live state database).
 func (c *Cluster) Preload(batches [][]*types.Transaction) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	for _, txs := range batches {
 		head := c.chains[0].Head()
 		b := &types.Block{

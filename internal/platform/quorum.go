@@ -26,7 +26,8 @@ func quorumPreset() *Preset {
 		Describe: "Quorum (geth fork): Raft-ordered CFT consensus, trie state, EVM",
 		// Raft never forks, but the trie keeps historical roots, so the
 		// ledger's versioned-state queries (analytics Q2) stay available.
-		SupportsForks: true,
+		SupportsForks:   true,
+		DurableRecovery: true,
 		OptionKeys: append(append(append(append([]string{}, raftOptionKeys...), storeOptionKeys...),
 			execOptionKeys...), analyticsOptionKeys...),
 		Fill: func(cfg *Config) error {

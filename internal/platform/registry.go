@@ -67,6 +67,13 @@ type Preset struct {
 	// SupportsForks enables side chains and reorgs in the ledger (PoW,
 	// PoA). Agreement-based platforms (PBFT, Raft) never fork.
 	SupportsForks bool
+	// DurableRecovery makes a killed node restart from its persisted
+	// store: committed blocks are journaled on the ledger commit path
+	// and replayed into a fresh chain on Cluster.Recover, and the
+	// consensus engine gets a MetaStore for its hard state (Raft
+	// term/vote/applied). Presets without it restart empty and rejoin
+	// through the chain-sync protocol alone.
+	DurableRecovery bool
 
 	// OptionKeys names the generic Config.Options (-popt key=val) keys
 	// this preset's Fill hook consumes; New rejects options outside the

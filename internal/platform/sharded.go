@@ -32,7 +32,8 @@ func shardedPreset() *Preset {
 		Describe: "sharded execution: partitioned state, per-shard Raft groups, cross-shard 2PC",
 		// Per-shard Raft never forks, but the trie keeps historical
 		// roots for versioned-state queries, as on Quorum.
-		SupportsForks: true,
+		SupportsForks:   true,
+		DurableRecovery: true,
 		OptionKeys: append(append(append(append([]string{"shards", "partitioner", "bounds"},
 			raftOptionKeys...), storeOptionKeys...), execOptionKeys...), analyticsOptionKeys...),
 		Fill: func(cfg *Config) error {

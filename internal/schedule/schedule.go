@@ -17,6 +17,8 @@ package schedule
 
 import (
 	"fmt"
+	"math/rand"
+	"sort"
 	"time"
 )
 
@@ -26,16 +28,28 @@ import (
 type Cluster interface {
 	// Size returns the number of server nodes.
 	Size() int
-	// Crash stops message delivery to and from node i.
+	// Crash process-kills node i (in-memory state is lost).
 	Crash(i int)
-	// Recover restores a crashed node.
+	// Recover restarts a killed node from its persisted store, or
+	// restores connectivity to a muted node.
 	Recover(i int)
+	// Mute suppresses node i's traffic without killing the process.
+	Mute(i int)
+	// Unmute restores a muted node's connectivity.
+	Unmute(i int)
 	// PartitionHalves splits the network into [0,k) and [k,N).
 	PartitionHalves(k int)
-	// Heal removes any partition.
+	// PartitionGroups installs an arbitrary multi-way partition;
+	// unlisted nodes form an implicit group.
+	PartitionGroups(groups [][]int)
+	// Heal removes partitions and blocked links.
 	Heal()
 	// SetDelay injects extra message delay at the given nodes.
 	SetDelay(d time.Duration, nodes ...int)
+	// SetLinkFaults installs probabilistic drop/duplicate/reorder on
+	// messages the given nodes send (all nodes when none are named);
+	// zero probabilities clear the profile.
+	SetLinkFaults(drop, dup, reorder float64, nodes ...int)
 	// NodeHeight returns node i's confirmed chain height.
 	NodeHeight(i int) uint64
 }
@@ -83,6 +97,35 @@ func Recover(i int) Action {
 // Partition returns the split-in-[0,k)/[k,N) action.
 func Partition(k int) Action {
 	return Action{Name: fmt.Sprintf("partition(%d)", k), Do: func(c Cluster) { c.PartitionHalves(k) }}
+}
+
+// Mute returns the network-only fail-stop action (the pre-process-kill
+// Crash semantics).
+func Mute(i int) Action {
+	return Action{Name: fmt.Sprintf("mute(%d)", i), Do: func(c Cluster) { c.Mute(i) }}
+}
+
+// Unmute returns the restore-connectivity action.
+func Unmute(i int) Action {
+	return Action{Name: fmt.Sprintf("unmute(%d)", i), Do: func(c Cluster) { c.Unmute(i) }}
+}
+
+// PartitionGroups returns the multi-way partition action.
+func PartitionGroups(groups [][]int) Action {
+	return Action{
+		Name: fmt.Sprintf("partition_groups(%v)", groups),
+		Do:   func(c Cluster) { c.PartitionGroups(groups) },
+	}
+}
+
+// LinkFaults returns the probabilistic link-fault action (zero
+// probabilities clear).
+func LinkFaults(drop, dup, reorder float64, nodes ...int) Action {
+	name := fmt.Sprintf("linkfaults(drop=%.2f,dup=%.2f,reorder=%.2f,%v)", drop, dup, reorder, nodes)
+	if drop == 0 && dup == 0 && reorder == 0 {
+		name = "linkfaults(clear)"
+	}
+	return Action{Name: name, Do: func(c Cluster) { c.SetLinkFaults(drop, dup, reorder, nodes...) }}
 }
 
 // Heal returns the remove-partition action.
@@ -149,6 +192,136 @@ func GrowthAtLeast(delta uint64, nodes ...int) Trigger {
 			return true
 		}
 	}
+}
+
+// ChaosConfig seeds a randomized fault timeline. The same config always
+// generates the same timeline, so a failing chaos run reproduces from
+// its printed seed.
+type ChaosConfig struct {
+	// Seed drives every random decision in the timeline.
+	Seed int64
+	// Duration is the run length the timeline covers. Faults are only
+	// injected during the first ~80%; the tail is a heal-and-recover
+	// window so the cluster can converge before invariants are checked.
+	Duration time.Duration
+	// Nodes is the cluster size.
+	Nodes int
+	// KillProb is the per-node, per-tick probability of a process kill.
+	KillProb float64
+	// NetProb is the per-tick probability of starting a network fault
+	// (asymmetric partition or probabilistic link faults).
+	NetProb float64
+	// Tick is the decision cadence (default 250ms).
+	Tick time.Duration
+	// MaxDown caps concurrently killed nodes (default: a minority,
+	// (Nodes-1)/2, so majority-quorum platforms keep making progress).
+	MaxDown int
+}
+
+// Chaos generates a deterministic randomized fault timeline: process
+// kills with staggered recoveries, asymmetric partial partitions and
+// per-link drop/duplicate/reorder faults, all drawn from the seed. The
+// final ~20% of the duration heals the network and recovers every node
+// still down, so safety invariants can be checked on a converged
+// cluster at the end of the run.
+func Chaos(cfg ChaosConfig) []Event {
+	if cfg.Nodes <= 0 || cfg.Duration <= 0 {
+		return nil
+	}
+	tick := cfg.Tick
+	if tick <= 0 {
+		tick = 250 * time.Millisecond
+	}
+	maxDown := cfg.MaxDown
+	if maxDown <= 0 {
+		maxDown = (cfg.Nodes - 1) / 2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	healAt := cfg.Duration * 4 / 5
+
+	var events []Event
+	downUntil := make([]time.Duration, cfg.Nodes) // 0 = up
+	var netUntil time.Duration
+
+	downCount := func(t time.Duration) int {
+		n := 0
+		for _, u := range downUntil {
+			if u > t {
+				n++
+			}
+		}
+		return n
+	}
+
+	for t := tick; t < healAt; t += tick {
+		// Process kills: each up node draws independently; recovery is
+		// scheduled 2–6 ticks later (capped at the heal window).
+		for i := 0; i < cfg.Nodes; i++ {
+			if downUntil[i] > t || downCount(t) >= maxDown {
+				continue
+			}
+			if rng.Float64() >= cfg.KillProb {
+				continue
+			}
+			rec := t + time.Duration(2+rng.Intn(5))*tick
+			if rec >= healAt {
+				rec = healAt
+			}
+			downUntil[i] = rec
+			events = append(events,
+				Event{At: t, Act: Crash(i)},
+				Event{At: rec, Act: Recover(i)})
+		}
+		// Network faults: one active profile at a time, cleared 2–5
+		// ticks after it starts.
+		if t >= netUntil && rng.Float64() < cfg.NetProb {
+			clear := t + time.Duration(2+rng.Intn(4))*tick
+			if clear >= healAt {
+				clear = healAt
+			}
+			netUntil = clear
+			switch rng.Intn(3) {
+			case 0:
+				// Asymmetric partial partition: a random minority group
+				// is split off from the rest.
+				k := 1 + rng.Intn((cfg.Nodes+1)/2)
+				perm := rng.Perm(cfg.Nodes)[:k]
+				sort.Ints(perm)
+				events = append(events,
+					Event{At: t, Act: PartitionGroups([][]int{perm})},
+					Event{At: clear, Act: Heal()})
+			case 1:
+				// Lossy links at a random subset of senders.
+				k := 1 + rng.Intn(cfg.Nodes)
+				perm := rng.Perm(cfg.Nodes)[:k]
+				sort.Ints(perm)
+				drop := 0.05 + 0.25*rng.Float64()
+				dup := 0.15 * rng.Float64()
+				reorder := 0.30 * rng.Float64()
+				events = append(events,
+					Event{At: t, Act: LinkFaults(drop, dup, reorder, perm...)},
+					Event{At: clear, Act: LinkFaults(0, 0, 0)})
+			default:
+				// Cluster-wide light loss and reordering.
+				events = append(events,
+					Event{At: t, Act: LinkFaults(0.02+0.05*rng.Float64(), 0.05, 0.20)},
+					Event{At: clear, Act: LinkFaults(0, 0, 0)})
+			}
+		}
+	}
+	// Convergence window: clear every fault and bring every node back.
+	events = append(events,
+		Event{At: healAt, Act: Heal()},
+		Event{At: healAt, Act: LinkFaults(0, 0, 0)})
+	for i := 0; i < cfg.Nodes; i++ {
+		if downUntil[i] > 0 {
+			// Re-recovering an already-recovered node is a no-op, so the
+			// tail recover is unconditional insurance.
+			events = append(events, Event{At: healAt, Act: Recover(i)})
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	return events
 }
 
 // Run executes the timeline in order against c, treating start as the

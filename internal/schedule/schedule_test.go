@@ -1,6 +1,7 @@
 package schedule
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -24,12 +25,16 @@ func (f *fakeCluster) record(s string) {
 	f.mu.Unlock()
 }
 
-func (f *fakeCluster) Size() int                              { return f.size }
-func (f *fakeCluster) Crash(i int)                            { f.record("crash") }
-func (f *fakeCluster) Recover(i int)                          { f.record("recover") }
-func (f *fakeCluster) PartitionHalves(int)                    { f.record("partition") }
-func (f *fakeCluster) Heal()                                  { f.record("heal") }
-func (f *fakeCluster) SetDelay(d time.Duration, nodes ...int) { f.record("setdelay") }
+func (f *fakeCluster) Size() int                                { return f.size }
+func (f *fakeCluster) Crash(i int)                              { f.record("crash") }
+func (f *fakeCluster) Recover(i int)                            { f.record("recover") }
+func (f *fakeCluster) Mute(i int)                               { f.record("mute") }
+func (f *fakeCluster) Unmute(i int)                             { f.record("unmute") }
+func (f *fakeCluster) PartitionHalves(int)                      { f.record("partition") }
+func (f *fakeCluster) PartitionGroups(groups [][]int)           { f.record("partition_groups") }
+func (f *fakeCluster) Heal()                                    { f.record("heal") }
+func (f *fakeCluster) SetDelay(d time.Duration, nodes ...int)   { f.record("setdelay") }
+func (f *fakeCluster) SetLinkFaults(d, u, r float64, ns ...int) { f.record("linkfaults") }
 
 func (f *fakeCluster) NodeHeight(i int) uint64 {
 	f.mu.Lock()
@@ -127,5 +132,86 @@ func TestStopAbortsRemainingEvents(t *testing.T) {
 	defer c.mu.Unlock()
 	if len(c.log) != 0 {
 		t.Fatalf("actions ran after stop: %v", c.log)
+	}
+}
+
+func TestChaosDeterministicForSeed(t *testing.T) {
+	cfg := ChaosConfig{Seed: 99, Duration: 30 * time.Second, Nodes: 5, KillProb: 0.05, NetProb: 0.1}
+	a, b := Chaos(cfg), Chaos(cfg)
+	if len(a) == 0 {
+		t.Fatal("chaos timeline is empty")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].At != b[i].At || a[i].Act.Name != b[i].Act.Name {
+			t.Fatalf("event %d differs: %v %q vs %v %q",
+				i, a[i].At, a[i].Act.Name, b[i].At, b[i].Act.Name)
+		}
+	}
+	c := Chaos(ChaosConfig{Seed: 100, Duration: 30 * time.Second, Nodes: 5, KillProb: 0.05, NetProb: 0.1})
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i].At != c[i].At || a[i].Act.Name != c[i].Act.Name {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical timelines")
+	}
+}
+
+func TestChaosNeverExceedsMinorityDownAndRecoversAll(t *testing.T) {
+	cfg := ChaosConfig{Seed: 3, Duration: 60 * time.Second, Nodes: 5, KillProb: 0.2, NetProb: 0.1}
+	events := Chaos(cfg)
+	maxDown := (cfg.Nodes - 1) / 2
+	down := map[int]bool{}
+	for _, ev := range events {
+		var i int
+		if n, _ := fmt.Sscanf(ev.Act.Name, "crash(%d)", &i); n == 1 {
+			down[i] = true
+			if len(down) > maxDown {
+				t.Fatalf("%d nodes down at %v, cap is %d", len(down), ev.At, maxDown)
+			}
+		}
+		if n, _ := fmt.Sscanf(ev.Act.Name, "recover(%d)", &i); n == 1 {
+			delete(down, i)
+		}
+	}
+	if len(down) != 0 {
+		t.Fatalf("nodes still down at end of timeline: %v", down)
+	}
+	// Ordering contract: the timeline must be sorted, since the driver
+	// executes events strictly in sequence.
+	for i := 1; i < len(events); i++ {
+		if events[i].At < events[i-1].At {
+			t.Fatalf("timeline not sorted at %d: %v after %v", i, events[i].At, events[i-1].At)
+		}
+	}
+}
+
+func TestChaosTimelineEndsWithHeal(t *testing.T) {
+	events := Chaos(ChaosConfig{Seed: 8, Duration: 20 * time.Second, Nodes: 4, KillProb: 0.1, NetProb: 0.2})
+	healAt := 20 * time.Second * 4 / 5
+	sawHeal := false
+	for _, ev := range events {
+		if ev.At >= healAt {
+			if ev.Act.Name == "heal" {
+				sawHeal = true
+			}
+			continue
+		}
+	}
+	if !sawHeal {
+		t.Fatal("no heal event in the convergence tail")
+	}
+	for _, ev := range events {
+		if ev.At > healAt && (len(ev.Act.Name) > 5 && ev.Act.Name[:5] == "crash") {
+			t.Fatalf("kill scheduled at %v, after the heal point %v", ev.At, healAt)
+		}
 	}
 }

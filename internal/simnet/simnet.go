@@ -75,7 +75,26 @@ type Stats struct {
 	MessagesSent    uint64
 	MessagesDropped uint64
 	BytesSent       uint64
+	// Link-chaos accounting: messages probabilistically dropped,
+	// duplicated and delay-reordered by the per-link fault injector.
+	ChaosDrops    uint64
+	ChaosDups     uint64
+	ChaosReorders uint64
 }
+
+// LinkFaults is a per-sender probabilistic link fault profile: each
+// outgoing message is independently dropped with probability Drop,
+// delivered twice with probability Dup, and delayed by an extra random
+// interval (so later messages overtake it) with probability Reorder.
+type LinkFaults struct {
+	Drop    float64
+	Dup     float64
+	Reorder float64
+}
+
+func (f LinkFaults) zero() bool { return f.Drop <= 0 && f.Dup <= 0 && f.Reorder <= 0 }
+
+type link struct{ from, to NodeID }
 
 // Network is the shared medium connecting all endpoints.
 type Network struct {
@@ -90,13 +109,21 @@ type Network struct {
 	group       map[NodeID]int
 	extraDelay  map[NodeID]time.Duration
 	corruptRate map[NodeID]float64
+	// faults holds each sender's probabilistic link fault profile;
+	// blocked cuts individual directed links (asymmetric partial
+	// partitions: A may reach B while B cannot reach A).
+	faults  map[NodeID]LinkFaults
+	blocked map[link]bool
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
-	msgs    atomic.Uint64
-	dropped atomic.Uint64
-	bytes   atomic.Uint64
+	msgs          atomic.Uint64
+	dropped       atomic.Uint64
+	bytes         atomic.Uint64
+	chaosDrops    atomic.Uint64
+	chaosDups     atomic.Uint64
+	chaosReorders atomic.Uint64
 
 	closed atomic.Bool
 	timers sync.WaitGroup
@@ -114,6 +141,8 @@ func New(cfg Config) *Network {
 		group:       make(map[NodeID]int),
 		extraDelay:  make(map[NodeID]time.Duration),
 		corruptRate: make(map[NodeID]float64),
+		faults:      make(map[NodeID]LinkFaults),
+		blocked:     make(map[link]bool),
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 	}
 }
@@ -195,20 +224,45 @@ func (n *Network) send(from *Endpoint, to NodeID, typ string, payload any) bool 
 		n.dropped.Add(1)
 		return false
 	}
+	if n.blocked[link{from.ID, to}] {
+		n.mu.RUnlock()
+		n.dropped.Add(1)
+		return false
+	}
 	dst, ok := n.endpoints[to]
 	delay := n.cfg.BaseLatency + n.extraDelay[from.ID] + n.extraDelay[to]
 	corrupt := n.corruptRate[from.ID]
+	faults := n.faults[from.ID]
 	n.mu.RUnlock()
 	if !ok {
 		n.dropped.Add(1)
 		return false
 	}
 
+	duplicate := false
 	n.rngMu.Lock()
 	if n.cfg.Jitter > 0 {
 		delay += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
 	}
 	isCorrupt := corrupt > 0 && n.rng.Float64() < corrupt
+	if !faults.zero() {
+		if faults.Drop > 0 && n.rng.Float64() < faults.Drop {
+			// Lost in flight: the sender believes the send succeeded, so
+			// the loss is visible only in counters — like real packet loss,
+			// unlike the origin drops above.
+			n.rngMu.Unlock()
+			n.dropped.Add(1)
+			n.chaosDrops.Add(1)
+			return true
+		}
+		duplicate = faults.Dup > 0 && n.rng.Float64() < faults.Dup
+		if faults.Reorder > 0 && n.rng.Float64() < faults.Reorder {
+			// Hold the message long enough that later traffic on the same
+			// link overtakes it.
+			delay += n.cfg.BaseLatency + time.Duration(n.rng.Int63n(int64(4*n.cfg.BaseLatency+1)))
+			n.chaosReorders.Add(1)
+		}
+	}
 	n.rngMu.Unlock()
 
 	if n.cfg.Bandwidth > 0 {
@@ -220,16 +274,30 @@ func (n *Network) send(from *Endpoint, to NodeID, typ string, payload any) bool 
 	from.bytesOut.Add(uint64(size))
 
 	msg := Message{From: from.ID, To: to, Type: typ, Payload: payload, Size: size, Corrupt: isCorrupt}
+	n.deliverAfter(msg, dst, delay)
+	if duplicate {
+		n.chaosDups.Add(1)
+		n.deliverAfter(msg, dst, delay+n.cfg.BaseLatency)
+	}
+	return true
+}
+
+// deliverAfter schedules one delivery attempt of msg to dst, re-checking
+// the destination's liveness (crash, partition, directed block, endpoint
+// replacement) at delivery time.
+func (n *Network) deliverAfter(msg Message, dst *Endpoint, delay time.Duration) {
 	n.timers.Add(1)
 	time.AfterFunc(delay, func() {
 		defer n.timers.Done()
 		if n.closed.Load() {
 			return
 		}
+		to := msg.To
 		n.mu.RLock()
 		cur, ok := n.endpoints[to]
 		crashed := n.crashed[to]
 		cut := n.partitioned && n.group[msg.From] != n.group[to]
+		cut = cut || n.blocked[link{msg.From, to}]
 		n.mu.RUnlock()
 		if !ok || crashed || cut || cur != dst {
 			n.dropped.Add(1)
@@ -237,7 +305,7 @@ func (n *Network) send(from *Endpoint, to NodeID, typ string, payload any) bool 
 		}
 		select {
 		case dst.Inbox <- msg:
-			dst.bytesIn.Add(uint64(size))
+			dst.bytesIn.Add(uint64(msg.Size))
 		default:
 			// Inbox full: the receiving process cannot keep up and the
 			// message is lost, exactly like a saturated gRPC/message
@@ -245,7 +313,6 @@ func (n *Network) send(from *Endpoint, to NodeID, typ string, payload any) bool 
 			n.dropped.Add(1)
 		}
 	})
-	return true
 }
 
 // Crash stops delivery to and from id until Recover.
@@ -284,11 +351,70 @@ func (n *Network) Partition(groupA []NodeID) {
 	n.partitioned = true
 }
 
-// Heal removes the partition.
+// PartitionGroups splits the network into an arbitrary number of
+// mutually-isolated groups: nodes in groups[i] can only talk to members
+// of the same group, and any node not listed forms group 0 together with
+// other unlisted nodes. This generalizes Partition beyond the paper's
+// two-way split to the multi-way partial partitions chaos runs use.
+func (n *Network) PartitionGroups(groups [][]NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for id := range n.endpoints {
+		n.group[id] = 0
+	}
+	for i, g := range groups {
+		for _, id := range g {
+			n.group[id] = i + 1
+		}
+	}
+	n.partitioned = true
+}
+
+// BlockLink cuts the directed link from → to: messages from "from" to
+// "to" are dropped while the reverse direction still delivers. This is
+// the asymmetric-partition primitive (a node that can send but not hear,
+// or vice versa). Heal clears all blocked links.
+func (n *Network) BlockLink(from, to NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked[link{from, to}] = true
+}
+
+// UnblockLink restores a directed link cut by BlockLink.
+func (n *Network) UnblockLink(from, to NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.blocked, link{from, to})
+}
+
+// SetLinkFaults installs a probabilistic fault profile on all links
+// originating at the given nodes (every node when none are given). A
+// zero profile clears the faults.
+func (n *Network) SetLinkFaults(f LinkFaults, ids ...NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(ids) == 0 {
+		for id := range n.endpoints {
+			ids = append(ids, id)
+		}
+	}
+	for _, id := range ids {
+		if f.zero() {
+			delete(n.faults, id)
+		} else {
+			n.faults[id] = f
+		}
+	}
+}
+
+// Heal removes the partition and every blocked directed link.
 func (n *Network) Heal() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.partitioned = false
+	for l := range n.blocked {
+		delete(n.blocked, l)
+	}
 }
 
 // SetDelay injects extra one-way delay on all links touching the given
@@ -325,6 +451,9 @@ func (n *Network) Stats() Stats {
 		MessagesSent:    n.msgs.Load(),
 		MessagesDropped: n.dropped.Load(),
 		BytesSent:       n.bytes.Load(),
+		ChaosDrops:      n.chaosDrops.Load(),
+		ChaosDups:       n.chaosDups.Load(),
+		ChaosReorders:   n.chaosReorders.Load(),
 	}
 }
 

@@ -179,3 +179,107 @@ func TestSendAfterCloseRefused(t *testing.T) {
 		t.Fatal("send after close accepted")
 	}
 }
+
+func TestLinkFaultsDropAll(t *testing.T) {
+	n := New(fastConfig())
+	defer n.Close()
+	a, b := n.Join(1), n.Join(2)
+	n.SetLinkFaults(LinkFaults{Drop: 1.0}, 1)
+	for i := 0; i < 20; i++ {
+		if !a.Send(2, "x", i) {
+			t.Fatal("chaos drop must look like success to the sender")
+		}
+	}
+	select {
+	case <-b.Inbox:
+		t.Fatal("message delivered through Drop=1.0 link")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if got := n.Stats().ChaosDrops; got != 20 {
+		t.Fatalf("ChaosDrops = %d, want 20", got)
+	}
+	// A zero profile clears the faults.
+	n.SetLinkFaults(LinkFaults{}, 1)
+	a.Send(2, "x", nil)
+	recvWithin(t, b, time.Second)
+}
+
+func TestLinkFaultsDuplicate(t *testing.T) {
+	n := New(fastConfig())
+	defer n.Close()
+	a, b := n.Join(1), n.Join(2)
+	n.SetLinkFaults(LinkFaults{Dup: 1.0}, 1)
+	a.Send(2, "x", nil)
+	recvWithin(t, b, time.Second)
+	recvWithin(t, b, time.Second) // the duplicate
+	if got := n.Stats().ChaosDups; got != 1 {
+		t.Fatalf("ChaosDups = %d, want 1", got)
+	}
+}
+
+func TestLinkFaultsReorderCounts(t *testing.T) {
+	n := New(fastConfig())
+	defer n.Close()
+	a, b := n.Join(1), n.Join(2)
+	n.SetLinkFaults(LinkFaults{Reorder: 1.0}) // no ids: every sender
+	for i := 0; i < 10; i++ {
+		a.Send(2, "x", i)
+	}
+	for i := 0; i < 10; i++ {
+		recvWithin(t, b, time.Second) // delayed, never lost
+	}
+	if got := n.Stats().ChaosReorders; got != 10 {
+		t.Fatalf("ChaosReorders = %d, want 10", got)
+	}
+}
+
+func TestBlockLinkIsDirected(t *testing.T) {
+	n := New(fastConfig())
+	defer n.Close()
+	a, b := n.Join(1), n.Join(2)
+	n.BlockLink(1, 2)
+	if a.Send(2, "x", nil) {
+		t.Fatal("blocked direction delivered")
+	}
+	if !b.Send(1, "x", nil) {
+		t.Fatal("reverse direction should stay open")
+	}
+	recvWithin(t, a, time.Second)
+	n.UnblockLink(1, 2)
+	if !a.Send(2, "x", nil) {
+		t.Fatal("unblocked link refused")
+	}
+	recvWithin(t, b, time.Second)
+}
+
+func TestPartitionGroupsImplicitGroupZero(t *testing.T) {
+	n := New(fastConfig())
+	defer n.Close()
+	a, b, c := n.Join(1), n.Join(2), n.Join(3)
+	// {2} is its own group; 1 and 3 fall into implicit group 0.
+	n.PartitionGroups([][]NodeID{{2}})
+	if a.Send(2, "x", nil) {
+		t.Fatal("cross-group send accepted")
+	}
+	if !a.Send(3, "x", nil) {
+		t.Fatal("implicit-group send refused")
+	}
+	recvWithin(t, c, time.Second)
+	n.Heal()
+	if !b.Send(1, "x", nil) {
+		t.Fatal("post-heal send refused")
+	}
+	recvWithin(t, a, time.Second)
+}
+
+func TestHealClearsBlockedLinksAndFaultsSurvive(t *testing.T) {
+	n := New(fastConfig())
+	defer n.Close()
+	a, b := n.Join(1), n.Join(2)
+	n.BlockLink(1, 2)
+	n.Heal()
+	if !a.Send(2, "x", nil) {
+		t.Fatal("Heal did not clear the blocked link")
+	}
+	recvWithin(t, b, time.Second)
+}

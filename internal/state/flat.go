@@ -43,11 +43,28 @@ type FlatState struct {
 
 // NewFlatState creates a flat layer over store with an in-memory LRU of
 // at most entries values (entries <= 0 picks a small default).
+//
+// A store that survived a process crash still holds the previous life's
+// persisted entries — that life's *head* state, which journal replay
+// must never read mid-history. Generations restart from zero in every
+// life, so the two lives would collide; scanning for the highest
+// persisted generation and starting above it makes every inherited
+// entry invisible (the documented O(1) reset, applied at open).
 func NewFlatState(store kvstore.Store, entries int) *FlatState {
 	if entries <= 0 {
 		entries = 1024
 	}
-	return &FlatState{store: store, cache: lru.New(entries), entries: entries}
+	f := &FlatState{store: store, cache: lru.New(entries), entries: entries}
+	found := false
+	store.Iterate([]byte("f:"), []byte("f;"), func(k, _ []byte) bool {
+		if len(k) >= 10 {
+			if g := binary.BigEndian.Uint64(k[2:10]); !found || g >= f.gen {
+				f.gen, found = g+1, true
+			}
+		}
+		return true
+	})
+	return f
 }
 
 func (f *FlatState) flatKey(key string) []byte {

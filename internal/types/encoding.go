@@ -121,6 +121,62 @@ func (d *Decoder) Bool() bool {
 	return b != nil && b[0] != 0
 }
 
+// DecodeHeader parses a header from the deterministic encoding produced
+// by Header.Encode, reading from d.
+func DecodeHeader(d *Decoder) Header {
+	var h Header
+	h.Number = d.Uint64()
+	copy(h.ParentHash[:], d.Raw(HashSize))
+	copy(h.TxRoot[:], d.Raw(HashSize))
+	copy(h.StateRoot[:], d.Raw(HashSize))
+	h.Time = int64(d.Uint64())
+	h.Difficulty = d.Uint64()
+	h.PowNonce = d.Uint64()
+	copy(h.Proposer[:], d.Raw(AddressSize))
+	h.View = d.Uint64()
+	h.GasLimit = d.Uint64()
+	h.GasUsed = d.Uint64()
+	return h
+}
+
+// EncodeBlock returns the full wire encoding of a block: the header
+// followed by a count-prefixed transaction list. It is the durable
+// at-rest format the platform layer persists for crash recovery, so it
+// round-trips byte-identically through DecodeBlock.
+func EncodeBlock(b *Block) []byte {
+	e := NewEncoder()
+	e.Raw(b.Header.Encode())
+	e.Uint32(uint32(len(b.Txs)))
+	for _, tx := range b.Txs {
+		e.Bytes(tx.Encode())
+	}
+	return e.Out()
+}
+
+// DecodeBlock parses a block encoded by EncodeBlock.
+func DecodeBlock(buf []byte) (*Block, error) {
+	d := NewDecoder(buf)
+	b := &Block{Header: DecodeHeader(d)}
+	n := int(d.Uint32())
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		b.Txs = make([]*Transaction, n)
+		for i := 0; i < n; i++ {
+			tx, err := DecodeTransaction(d.Bytes())
+			if err != nil {
+				return nil, err
+			}
+			b.Txs[i] = tx
+		}
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
 // DecodeTransaction parses a transaction wire encoding from Encode.
 func DecodeTransaction(buf []byte) (*Transaction, error) {
 	d := NewDecoder(buf)

@@ -129,6 +129,18 @@ type Report struct {
 	// Traces holds the most recent complete sampled lifecycle spans
 	// (bounded by the tracer's ring), oldest first.
 	Traces []Trace `json:"traces,omitempty"`
+
+	// ChaosSeed is the seed of the randomized fault timeline when the
+	// run was driven with chaos injection (0 otherwise). Re-running with
+	// the same seed reproduces the kill/partition/link-fault schedule
+	// exactly.
+	ChaosSeed int64 `json:"chaos_seed,omitempty"`
+	// Invariants lists safety-invariant violations detected during and
+	// after the run — committed-prefix disagreement, height regression
+	// without a restart, cross-shard over-resolution, workload-level
+	// conservation breaks. Empty on a clean run; any entry means the run
+	// (and CI) must fail.
+	Invariants []string `json:"invariants,omitempty"`
 }
 
 // StageStat is one pipeline stage's sampled latency statistics, in
@@ -226,6 +238,12 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, ", xshard=%.0f%% (commits=%d aborts=%d retries=%d)",
 			100*r.CrossShardRatio(), r.Counters[CounterXShardCommits],
 			r.Counters[CounterXShardAborts], r.Counters[CounterXShardRetries])
+	}
+	if r.ChaosSeed != 0 {
+		fmt.Fprintf(&b, ", chaos-seed=%d", r.ChaosSeed)
+	}
+	if len(r.Invariants) > 0 {
+		fmt.Fprintf(&b, ", INVARIANT VIOLATIONS=%d", len(r.Invariants))
 	}
 	if r.Aborted {
 		b.WriteString(", aborted")

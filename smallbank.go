@@ -1,8 +1,11 @@
 package blockbench
 
 import (
+	"bytes"
+	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"blockbench/internal/types"
 	"blockbench/internal/workload"
@@ -76,6 +79,106 @@ func (w *SmallbankWorkload) Init(c *Cluster, rng *rand.Rand) error {
 // sendPayment/amalgamate, one otherwise — which is what makes Smallbank
 // the cross-shard workload of the shard-scaling comparison.
 func (w *SmallbankWorkload) KeyOf(op Op) [][]byte { return OpKeys(op) }
+
+// CheckInvariants implements WorkloadInvariants: after a fault-injected
+// run, every live node in a shard group must report the same balance
+// for every sampled account — replicas of one state machine cannot
+// disagree, no matter what was killed or partitioned mid-run. (The mix
+// itself mints and burns money through deposits and checks, so
+// replica agreement, not global conservation, is the workload-level
+// safety property.) A short retry loop absorbs tail commits that land
+// while the check walks the nodes.
+func (w *SmallbankWorkload) CheckInvariants(c *Cluster) []string {
+	w.lazyFill()
+	sample := w.Accounts
+	if sample > 32 {
+		sample = 32
+	}
+	groups := make(map[int][]int)
+	for i := 0; i < c.Size(); i++ {
+		if c.Down(i) {
+			continue
+		}
+		groups[c.ShardOf(i)] = append(groups[c.ShardOf(i)], i)
+	}
+	var out []string
+	for g, nodes := range groups {
+		if len(nodes) < 2 {
+			continue
+		}
+		for a := 0; a < sample; a++ {
+			if detail, ok := w.balancesAgree(c, nodes, a); !ok {
+				out = append(out, fmt.Sprintf(
+					"smallbank: shard %d: live nodes disagree on account %d: %s", g, a, detail))
+			}
+		}
+	}
+	return out
+}
+
+// balancesAgree polls getBalance for one account on every listed node
+// until all answers match (or the retry budget runs out, returning the
+// last disagreeing set).
+func (w *SmallbankWorkload) balancesAgree(c *Cluster, nodes []int, acct int) (string, bool) {
+	last := "unreachable"
+	for attempt := 0; attempt < 80; attempt++ {
+		if attempt > 0 {
+			time.Sleep(25 * time.Millisecond)
+		}
+		// Only compare replicas sitting at the same chain height:
+		// deterministic execution of the same prefix must match, while a
+		// recovering replica mid-catch-up legitimately answers from an
+		// older state. A replica that never reaches its peers within the
+		// budget is reported too — that is a stuck node, not a race.
+		h := c.NodeHeight(nodes[0])
+		same := true
+		for _, i := range nodes[1:] {
+			if c.NodeHeight(i) != h {
+				same = false
+				break
+			}
+		}
+		if !same {
+			hs := make([]uint64, len(nodes))
+			for j, i := range nodes {
+				hs[j] = c.NodeHeight(i)
+			}
+			last = fmt.Sprintf("replica heights never converged on nodes %v: %v", nodes, hs)
+			continue
+		}
+		vals := make([][]byte, 0, len(nodes))
+		for _, i := range nodes {
+			out, err := c.nodeAt(i).Query("smallbank", "getBalance", [][]byte{sbAcct(acct)})
+			if err != nil || len(out) == 0 {
+				vals = nil
+				break
+			}
+			vals = append(vals, out)
+		}
+		if vals == nil {
+			continue // a node went down mid-check; retry the whole row
+		}
+		// Compare raw answer bytes: every replica runs the same engine,
+		// so agreement must hold bytewise regardless of how that engine
+		// encodes its return value (8-byte native vs 32-byte EVM word).
+		agree := true
+		for _, v := range vals[1:] {
+			if !bytes.Equal(v, vals[0]) {
+				agree = false
+				break
+			}
+		}
+		if agree {
+			return "", true
+		}
+		hexed := make([]string, len(vals))
+		for i, v := range vals {
+			hexed[i] = fmt.Sprintf("%x", v)
+		}
+		last = fmt.Sprintf("balances %v on nodes %v", hexed, nodes)
+	}
+	return last, false
+}
 
 // Next implements Workload: the standard Smallbank mix.
 func (w *SmallbankWorkload) Next(clientID int, rng *rand.Rand) Op {
